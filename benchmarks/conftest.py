@@ -1,0 +1,21 @@
+"""Shared pytest-benchmark configuration.
+
+Every bench regenerates one paper table/figure through the same
+``repro.experiments.*.run`` driver the CLI uses, then sanity-checks the
+shape the paper reports.  Experiments are expensive relative to
+microbenchmarks, so each runs exactly once per session (rounds=1).
+"""
+
+import pytest
+
+
+@pytest.fixture
+def once(benchmark):
+    """Run the benched callable a single time and return its result."""
+
+    def _run(func, *args, **kwargs):
+        return benchmark.pedantic(
+            func, args=args, kwargs=kwargs, rounds=1, iterations=1,
+        )
+
+    return _run

@@ -1,0 +1,28 @@
+"""Bench: Figure 10 — astar+hmmer+bzip2 case study on 3:1."""
+
+from repro.experiments import fig10_case_study
+
+
+def test_fig10_case_study(once):
+    result = once(fig10_case_study.run, intervals=500)
+    maxstp = result["maxSTP"]["apps"]
+    scmpki = result["SC-MPKI"]["apps"]
+    # astar is neither slow enough (maxSTP) nor memoizable (SC-MPKI):
+    # both schedulers leave it on the InO.
+    assert maxstp["astar"]["ooo_fraction"] < 0.2
+    assert scmpki["astar"]["ooo_fraction"] < 0.2
+    # maxSTP dedicates the OoO mostly to hmmer (highest slowdown) and
+    # starves bzip2 of equal access.
+    assert maxstp["hmmer"]["ooo_fraction"] > \
+        maxstp["bzip2"]["ooo_fraction"]
+    # Under SC-MPKI, hmmer achieves high performance with far less OoO
+    # time (memoized execution), and bzip2 gets a better deal overall.
+    assert scmpki["hmmer"]["ooo_fraction"] < \
+        maxstp["hmmer"]["ooo_fraction"]
+    assert scmpki["hmmer"]["mean_speedup"] > 0.75
+    assert scmpki["bzip2"]["mean_speedup"] > \
+        maxstp["bzip2"]["mean_speedup"]
+    # STP improves while the OoO is used less.
+    assert result["SC-MPKI"]["stp"] >= result["maxSTP"]["stp"]
+    assert result["SC-MPKI"]["ooo_active"] < \
+        result["maxSTP"]["ooo_active"]

@@ -1,0 +1,18 @@
+"""Bench: Figure 11 — 8:1 benefits by benchmark category."""
+
+from repro.experiments import fig11_categories
+
+
+def test_fig11_categories(once):
+    result = once(fig11_categories.run, mixes_per_category=3)
+    hpd, lpd = result["HPD"], result["LPD"]
+    # (a) HPD gains more speedup from Mirage than LPD does.
+    gain_hpd = hpd["SC-MPKI"]["stp"] - hpd["Homo-InO"]["stp"]
+    gain_lpd = lpd["SC-MPKI"]["stp"] - lpd["Homo-InO"]["stp"]
+    assert gain_hpd > gain_lpd
+    # (b) HPD mixes engage the OoO much more (schedule production).
+    assert hpd["SC-MPKI"]["util"] > lpd["SC-MPKI"]["util"]
+    # (c) LPD's low utilization translates into lower energy.
+    assert lpd["SC-MPKI"]["energy"] < hpd["SC-MPKI"]["energy"]
+    # Throughput arbitrators keep the OoO busy regardless of category.
+    assert lpd["maxSTP"]["util"] > 0.95

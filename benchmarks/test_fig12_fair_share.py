@@ -1,0 +1,22 @@
+"""Bench: Figure 12 — per-application OoO timeshare per arbitrator."""
+
+import pytest
+
+from repro.experiments import fig12_fair_share
+from repro.metrics import fairness_index
+
+
+def test_fig12_fair_share(once):
+    result = once(fig12_fair_share.run)
+    arbs = result["arbitrators"]
+    # Fair is exactly even; maxSTP is the most skewed; SC-MPKI less
+    # skewed than maxSTP; SC-MPKI-fair close to even.
+    assert arbs["Fair"]["fairness_index"] == pytest.approx(1.0, abs=0.02)
+    assert (arbs["maxSTP"]["fairness_index"]
+            < arbs["SC-MPKI"]["fairness_index"]
+            < arbs["SC-MPKI-fair"]["fairness_index"] + 0.05)
+    # Equal-share bound: nobody exceeds ~1/8 under the fair variants.
+    assert arbs["Fair"]["max_share"] < 1 / 8 + 0.03
+    assert arbs["SC-MPKI-fair"]["max_share"] < 1 / 8 + 0.12
+    # maxSTP's favourite eats far more than its fair share.
+    assert arbs["maxSTP"]["max_share"] > 0.25

@@ -1,0 +1,18 @@
+"""Bench: Figure 13 — fair schedulers across cluster sizes."""
+
+from repro.experiments import fig13_fairness
+
+
+def test_fig13_fairness(once):
+    result = once(fig13_fairness.run, n_values=(4, 8, 12, 16), n_mixes=4)
+    for row in result["rows"]:
+        # SC-MPKI-fair beats plain Fair on performance...
+        assert row["SC-MPKI-fair"]["stp"] > row["Fair"]["stp"]
+        # ...while using the OoO no more (Fair is always-on)...
+        assert row["Fair"]["util"] > 0.99
+        assert row["SC-MPKI-fair"]["util"] <= row["Fair"]["util"]
+        # ...and both sit far below Homo-OoO energy.
+        assert row["SC-MPKI-fair"]["energy"] < 0.8
+    # At small n SC-MPKI-fair gates the OoO substantially.
+    first = result["rows"][0]
+    assert first["SC-MPKI-fair"]["util"] < 0.9

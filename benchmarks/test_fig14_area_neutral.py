@@ -1,0 +1,20 @@
+"""Bench: Figure 14 — area-neutral 8:1 Mirage vs 5:3 traditional."""
+
+import pytest
+
+from repro.experiments import fig14_area_neutral
+
+
+def test_fig14_area_neutral(once):
+    result = once(fig14_area_neutral.run, n_mixes=4)
+    mirage = result["mirage_8_1"]
+    trad = result["trad_5_3"]
+    # Roughly area-neutral designs.
+    assert mirage["area"] == pytest.approx(trad["area"], abs=0.12)
+    # Despite two extra OoOs, the traditional CMP is slower and
+    # hungrier (paper: ~23 % slower, ~20 % more energy).
+    assert mirage["stp"] > trad["stp"]
+    assert mirage["energy"] < trad["energy"]
+    # The traditional system's OoOs never rest.
+    assert trad["util"] > 0.99
+    assert mirage["util"] < trad["util"]

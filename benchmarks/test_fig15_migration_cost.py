@@ -1,0 +1,19 @@
+"""Bench: Figure 15 — migration cost breakdown and frequency."""
+
+from repro.experiments import fig15_migration
+
+
+def test_fig15_migration_cost(once):
+    result = once(fig15_migration.run, n_mixes=12)
+    # Paper: transfer overheads are insignificant (~0.15 % of cycles).
+    assert result["overall_transfer_frac"] < 0.01
+    # Per migration, L1 refill dominates over the SC transfer.
+    for row in result["rows"]:
+        if row["migration_frequency"] > 0:
+            assert row["l1_transfer_frac"] >= row["sc_transfer_frac"]
+    # HPD mixes migrate more often than LPD mixes (schedule
+    # production pays off for them).
+    by_cat = result["by_category"]
+    if "HPD" in by_cat and "LPD" in by_cat:
+        assert (by_cat["HPD"]["migration_frequency"]
+                >= by_cat["LPD"]["migration_frequency"])

@@ -1,0 +1,17 @@
+"""Bench: Figure 1 — InO vs OoO performance/power/energy/area."""
+
+from repro.experiments import fig1_core_characteristics
+
+
+def test_fig1_core_characteristics(once):
+    result = once(fig1_core_characteristics.run, instructions=20_000)
+    overall = result["groups"]["overall"]
+    # Paper: InO keeps roughly half the performance...
+    assert 0.25 < overall["performance"] < 0.75
+    # ...at ~1/5 the power, ~1/3 the energy, <1/2 the area.
+    assert overall["power"] < 0.45
+    assert overall["energy"] < 0.8
+    assert overall["area"] < 0.5
+    # HPD loses more performance on the InO than LPD does.
+    assert (result["groups"]["HPD"]["performance"]
+            < result["groups"]["LPD"]["performance"])

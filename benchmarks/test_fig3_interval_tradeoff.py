@@ -1,0 +1,16 @@
+"""Bench: Figure 3b — memoizability vs migration cost over interval."""
+
+from repro.experiments import fig3_interval_tradeoff
+
+
+def test_fig3_interval_tradeoff(once):
+    result = once(fig3_interval_tradeoff.run)
+    rows = {r["interval_cycles"]: r for r in result["rows"]}
+    # Migration losses: >10 % at 1k cycles, ~1 % by 1M (paper text).
+    assert rows[1_000]["perf_vs_no_switching"] < 0.90
+    assert rows[1_000_000]["perf_vs_no_switching"] > 0.98
+    # Memoizability monotonically shrinks with interval length.
+    memo = [r["memoizable_fraction"] for r in result["rows"]]
+    assert memo == sorted(memo, reverse=True)
+    # The chosen 1M-cycle interval keeps most of both.
+    assert result["chosen_interval"] == 1_000_000

@@ -1,0 +1,18 @@
+"""Bench: Figure 5 — bzip2's ΔSC-MPKI spikes track its IPC phases."""
+
+from repro.experiments import fig5_bzip2_timeline
+
+
+def test_fig5_bzip2_timeline(once):
+    result = once(fig5_bzip2_timeline.run, intervals=500)
+    assert result["n_phase_changes"] > 3
+    assert result["n_spikes"] > 0
+    # Phase changes show up as ΔSC-MPKI spikes in their locus.
+    alignment = fig5_bzip2_timeline.spikes_align_with_phase_changes(
+        result)
+    assert alignment >= 0.6
+    # During stable loops ΔSC-MPKI stays near zero: the median
+    # interval is quiet.
+    quiet = sorted(s["delta_sc_mpki"] for s in result["series"]
+                   if not s["on_ooo"])
+    assert quiet[len(quiet) // 2] < 1.0

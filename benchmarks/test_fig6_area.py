@@ -1,0 +1,18 @@
+"""Bench: Figure 6 — CMP area vs cluster size."""
+
+import pytest
+
+from repro.experiments import fig6_area
+
+
+def test_fig6_area(once):
+    result = once(fig6_area.run)
+    by_n = {r["n"]: r for r in result["rows"]}
+    # 8:1 Mirage at ~74 % of the 8-OoO CMP (the abstract's 25 % saving).
+    assert by_n[8]["mirage"] == pytest.approx(0.74, abs=0.02)
+    for r in result["rows"]:
+        # Ordering: InO-only < traditional Het < Mirage < Homo-OoO.
+        assert r["homo_ino"] < r["traditional"] < r["mirage"] < 1.0
+    # Relative overhead of the one OoO shrinks as n grows.
+    mirage_rel = [r["mirage"] for r in result["rows"]]
+    assert mirage_rel == sorted(mirage_rel, reverse=True)

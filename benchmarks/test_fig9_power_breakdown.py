@@ -1,0 +1,30 @@
+"""Bench: Figure 9 — per-structure power and OoO utilization."""
+
+from repro.experiments import fig9_power
+
+
+def test_fig9_power_breakdown(once):
+    result = once(fig9_power.run, instructions=20_000, n_mixes=4)
+    power = result["breakdown"]["avg_power"]
+    # Paper Figure 9a ratios: OinO ~2.4x InO dynamic power; OoO ~2.1x
+    # OinO.  Require the right ordering with generous bands.
+    assert 1.3 < power["oino"] / power["ino"] < 4.0
+    assert 1.4 < power["ooo"] / power["oino"] < 4.5
+    # The OoO's big reorder structures dominate its budget.
+    ooo_parts = result["breakdown"]["fractions"]["ooo"]
+    reorder = (ooo_parts.get("scheduler", 0) + ooo_parts.get("rob", 0)
+               + ooo_parts.get("rename", 0))
+    assert reorder > 0.2
+    # OinO replays fetch from the SC: it spends a smaller fraction on
+    # the I-cache than the plain InO does.
+    ino_icache = result["breakdown"]["fractions"]["ino"].get("icache", 0)
+    oino_icache = result["breakdown"]["fractions"]["oino"].get(
+        "icache", 0)
+    assert oino_icache < ino_icache
+
+    # Figure 9b: SC-MPKI gates the OoO at small n, saturates by 12:1;
+    # the throughput arbitrators never gate.
+    util = {r["n"]: r["active"] for r in result["utilization"]}
+    assert util[4]["SC-MPKI"] < util[16]["SC-MPKI"]
+    assert util[16]["SC-MPKI"] > 0.9
+    assert util[8]["maxSTP"] > 0.99

@@ -1,0 +1,22 @@
+"""Bench: the abstract's headline claims at 8:1."""
+
+import pytest
+
+from repro.experiments import headline
+
+
+def test_headline_claims(once):
+    r = once(headline.run, n_mixes=8)
+    # ~84 % of an 8-OoO homogeneous CMP's performance.
+    assert 0.70 <= r["performance_vs_homo_ooo"] <= 0.95
+    # A clear increase over the traditional Het-CMP runtime (~28 %).
+    assert r["gain_vs_traditional"] > 0.08
+    # ~55 % energy saving (45 % relative energy).
+    assert 0.30 <= r["energy_vs_homo_ooo"] <= 0.60
+    # ~25 % area saving.
+    assert r["area_vs_homo_ooo"] == pytest.approx(0.74, abs=0.02)
+    # The design scales to about 12 consumers per producer before the
+    # OoO saturates.
+    util = r["ooo_utilization_by_n"]
+    assert util[8] < 0.95
+    assert util[12] > 0.9 or util[16] > 0.95

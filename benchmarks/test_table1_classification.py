@@ -1,0 +1,15 @@
+"""Bench: Table 1 — benchmark classification by InO:OoO IPC ratio."""
+
+from repro.experiments import table1
+
+
+def test_table1_classification(once):
+    result = once(table1.run, instructions=20_000)
+    # Two-band structure with strong agreement to the paper's labels.
+    assert result["agreement"] >= 0.8
+    # HPD benchmarks sit below the split, LPD above, on average.
+    hpd = [r["ratio"] for r in result["rows"]
+           if r["paper_category"] == "HPD"]
+    lpd = [r["ratio"] for r in result["rows"]
+           if r["paper_category"] == "LPD"]
+    assert sum(hpd) / len(hpd) < sum(lpd) / len(lpd)

@@ -1,0 +1,60 @@
+"""Scenario: QoS-bound multiprogramming with fair OoO sharing.
+
+A provider sells eight tenants "big-core-class" service on one Mirage
+cluster (paper section 3.2.3/5.3).  Plain round-robin gives everyone
+an equal OoO timeshare but burns the OoO continuously; SC-MPKI-fair
+counts memoized InO execution toward each tenant's share, so the OoO
+can power down whenever the next tenant in line is already being
+served by its Schedule Cache.
+
+    python examples/qos_fair_sharing.py
+"""
+
+from repro import (
+    ClusterConfig,
+    CMPSystem,
+    FairArbitrator,
+    SCMPKIFairArbitrator,
+    analytic_model,
+)
+from repro.metrics import fairness_index
+
+TENANTS = ["hmmer", "gamess", "bzip2", "namd", "gcc", "povray",
+           "libquantum", "calculix"]
+
+
+def main() -> None:
+    models = [analytic_model(n) for n in TENANTS]
+
+    plain = CMPSystem(
+        ClusterConfig(n_consumers=8, n_producers=1, mirage=False),
+        models, FairArbitrator(),
+    ).run()
+    mirage = CMPSystem(
+        ClusterConfig(n_consumers=8, n_producers=1, mirage=True),
+        models, SCMPKIFairArbitrator(),
+    ).run()
+
+    print(f"{'tenant':<12} {'Fair share':>10} {'SC-MPKI-fair':>13}")
+    for name, a, b in zip(TENANTS, plain.ooo_share_per_app,
+                          mirage.ooo_share_per_app):
+        print(f"{name:<12} {a:>10.1%} {b:>13.1%}")
+
+    print(f"\n{'':<24} {'Fair':>8} {'SC-MPKI-fair':>13}")
+    print(f"{'throughput (STP)':<24} {plain.stp:>8.2f} "
+          f"{mirage.stp:>13.2f}")
+    print(f"{'OoO active time':<24} {plain.ooo_active_fraction:>8.0%} "
+          f"{mirage.ooo_active_fraction:>13.0%}")
+    print(f"{'fairness index':<24} "
+          f"{fairness_index(plain.ooo_share_per_app):>8.2f} "
+          f"{fairness_index(mirage.ooo_share_per_app):>13.2f}")
+    print(f"{'energy (pJ, lower=better)':<24} {plain.energy_pj:>8.2e} "
+          f"{mirage.energy_pj:>13.2e}")
+
+    print("\nTenants below the 12.5% share under SC-MPKI-fair are not "
+          "starved: their Schedule Caches already deliver near-OoO "
+          "speed, so the arbitrator banked the energy instead.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,58 @@
+"""Quickstart: the Mirage Cores mechanism on one benchmark.
+
+Runs hmmer (a highly-memoizable HPD benchmark) on the three core
+models: the OoO producer memoizes issue schedules into a Schedule
+Cache, which then lets an in-order core in OinO mode replay them at
+near-OoO speed.
+
+    python examples/quickstart.py
+"""
+
+from repro import (
+    InOrderCore,
+    MemoryHierarchy,
+    OinOCore,
+    OutOfOrderCore,
+    ScheduleCache,
+    ScheduleRecorder,
+    make_benchmark,
+)
+
+INSTRUCTIONS = 40_000
+
+
+def main() -> None:
+    bench = make_benchmark("hmmer", seed=1)
+    hier = MemoryHierarchy()
+
+    # 1. The producer OoO runs first; the recorder watches every trace
+    #    and memoizes schedules that repeat with high confidence.
+    sc = ScheduleCache(capacity_bytes=8 * 1024)
+    recorder = ScheduleRecorder(sc)
+    ooo = OutOfOrderCore(hier.core_view(0), recorder=recorder)
+    r_ooo = ooo.run(bench.stream(), INSTRUCTIONS)
+    print(f"OoO producer : IPC {r_ooo.ipc:.2f}  "
+          f"({recorder.memoized_writes} schedules memoized, "
+          f"SC {sc.used_bytes} B used)")
+
+    # 2. A plain in-order core for reference.
+    ino = InOrderCore(hier.core_view(1))
+    r_ino = ino.run(bench.stream(), INSTRUCTIONS)
+    print(f"plain InO    : IPC {r_ino.ipc:.2f}  "
+          f"({r_ino.ipc / r_ooo.ipc:.0%} of OoO)")
+
+    # 3. The same in-order hardware in OinO mode, consuming the SC.
+    oino = OinOCore(hier.core_view(2), sc)
+    r_oino = oino.run(bench.stream(), INSTRUCTIONS)
+    print(f"OinO consumer: IPC {r_oino.ipc:.2f}  "
+          f"({r_oino.ipc / r_ooo.ipc:.0%} of OoO, "
+          f"{r_oino.stats.memoized_fraction:.0%} of instructions "
+          f"replayed from memoized schedules)")
+
+    gain = r_oino.ipc / r_ino.ipc - 1
+    print(f"\nmemoization turned the in-order core "
+          f"{gain:+.0%} faster — that is the mirage.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,66 @@
+"""Calibration sweep: detailed-sim behaviour vs. paper-derived targets.
+
+Run:  python scripts/calibrate.py [benchmark ...]
+
+Prints, per benchmark: OoO IPC, InO:OoO ratio, oracle memoized
+fraction, OinO relative performance — next to the profile targets.
+Used while tuning the structural generator parameters.
+"""
+
+import sys
+import time
+
+from repro.cores import InOrderCore, OinOCore, OutOfOrderCore
+from repro.memory import MemoryHierarchy
+from repro.schedule import ScheduleCache, ScheduleRecorder
+from repro.workloads import ALL_BENCHMARKS, get_profile, make_benchmark
+
+N = 50_000
+
+
+def evaluate(name: str) -> dict:
+    prof = get_profile(name)
+    bench = make_benchmark(name, seed=1)
+    sc = ScheduleCache(None)  # oracle: infinite SC
+    rec = ScheduleRecorder(sc)
+    r_ooo = OutOfOrderCore(
+        MemoryHierarchy().core_view(0), recorder=rec
+    ).run(bench.stream(), N)
+    r_ino = InOrderCore(MemoryHierarchy().core_view(1)).run(bench.stream(), N)
+    r_oino = OinOCore(MemoryHierarchy().core_view(2), sc).run(bench.stream(), N)
+    return {
+        "name": name,
+        "cat": prof.category,
+        "ipc_ooo": r_ooo.ipc,
+        "t_ipc": prof.target_ipc_ooo,
+        "ratio": r_ino.ipc / r_ooo.ipc,
+        "t_ratio": prof.target_ipc_ratio,
+        "memo": r_oino.stats.memoized_fraction,
+        "t_memo": prof.target_memoizable,
+        "oino_rel": r_oino.ipc / r_ooo.ipc,
+        "aborts": r_oino.stats.trace_aborts,
+    }
+
+
+def main() -> None:
+    names = sys.argv[1:] or list(ALL_BENCHMARKS)
+    print(f"{'bench':<12} {'cat':<4} {'ipcO(t)':>14} {'ratio(t)':>14} "
+          f"{'memo(t)':>14} {'oinoRel':>8} {'aborts':>6}")
+    t0 = time.time()
+    miscls = 0
+    for name in names:
+        r = evaluate(name)
+        ok = (r["ratio"] < 0.6) == (r["cat"] == "HPD")
+        miscls += not ok
+        print(f"{r['name']:<12} {r['cat']:<4} "
+              f"{r['ipc_ooo']:>6.2f}({r['t_ipc']:>4.2f}) "
+              f"{r['ratio']:>6.2f}({r['t_ratio']:>4.2f}) "
+              f"{r['memo']:>6.2f}({r['t_memo']:>4.2f}) "
+              f"{r['oino_rel']:>8.2f} {r['aborts']:>6} "
+              f"{'' if ok else '  <-- misclassified'}")
+    print(f"misclassified: {miscls}/{len(names)}  "
+          f"({time.time()-t0:.0f}s)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,31 @@
+"""Runtime arbitrators (paper section 3.2).
+
+The arbitrator is a hardware extension of the OoO that polls all
+applications' performance counters at interval boundaries and decides
+who gets the producer OoO next — or whether to power it down.
+
+* :class:`SCMPKIArbitrator` — energy-oriented: picks the highest
+  ΔSC-MPKI above a threshold, damped by a ping-pong decay; gates the
+  OoO when nobody qualifies.
+* :class:`MaxSTPArbitrator` — throughput-oriented prior-work runtime
+  for traditional Het-CMPs: lowest speedup wins, with forced sampling.
+* :class:`SCMPKIMaxSTPArbitrator` — throughput-oriented on Mirage.
+* :class:`FairArbitrator` — plain round-robin equal timeshare.
+* :class:`SCMPKIFairArbitrator` — round-robin that skips applications
+  already meeting their share through memoization, gating the OoO.
+"""
+
+from repro.arbiter.base import AppView, Arbitrator
+from repro.arbiter.fair import FairArbitrator, SCMPKIFairArbitrator
+from repro.arbiter.max_stp import MaxSTPArbitrator
+from repro.arbiter.sc_mpki import SCMPKIArbitrator, SCMPKIMaxSTPArbitrator
+
+__all__ = [
+    "AppView",
+    "Arbitrator",
+    "SCMPKIArbitrator",
+    "MaxSTPArbitrator",
+    "SCMPKIMaxSTPArbitrator",
+    "FairArbitrator",
+    "SCMPKIFairArbitrator",
+]

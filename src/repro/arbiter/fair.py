@@ -1,0 +1,73 @@
+"""Fairness-oriented arbitration (paper section 3.2.3)."""
+
+from __future__ import annotations
+
+from repro.arbiter.base import AppView, Arbitrator
+
+
+class FairArbitrator(Arbitrator):
+    """Strict round-robin: every application gets an equal OoO share.
+
+    Models the fair scheduler on a traditional Het-CMP: the OoO is
+    always busy and applications migrate at every interval boundary,
+    which is exactly the energy/overhead problem Figure 13 shows.
+    """
+
+    name = "Fair"
+
+    def __init__(self) -> None:
+        self._cursor = 0
+
+    def pick(self, views: list[AppView], *, interval_index: int,
+             slots: int = 1) -> list[int]:
+        if not views:
+            return []
+        picked = []
+        for k in range(min(slots, len(views))):
+            picked.append(views[(self._cursor + k) % len(views)].index)
+        self._cursor = (self._cursor + len(picked)) % len(views)
+        return picked
+
+    def reset(self) -> None:
+        self._cursor = 0
+
+
+class SCMPKIFairArbitrator(Arbitrator):
+    """Round-robin with memoization awareness (paper SC-MPKI-fair).
+
+    Time spent running memoized schedules on the InO counts toward an
+    application's OoO share (Equation 3).  The next application in
+    round-robin order is only migrated if it is *behind* its fair share
+    or its Schedule Cache has gone stale; otherwise the OoO is powered
+    down for the interval — fairness with energy savings.
+    """
+
+    name = "SC-MPKI-fair"
+
+    def __init__(self, *, threshold: float = 1.0):
+        self.threshold = threshold
+        self._cursor = 0
+
+    def pick(self, views: list[AppView], *, interval_index: int,
+             slots: int = 1) -> list[int]:
+        if not views:
+            return []
+        fair_share = 1.0 / len(views)
+        picked: list[int] = []
+        scanned = 0
+        cursor = self._cursor
+        while scanned < len(views) and len(picked) < slots:
+            view = views[cursor % len(views)]
+            cursor += 1
+            scanned += 1
+            behind = view.util < fair_share
+            stale = view.delta_sc_mpki > self.threshold
+            if behind or stale:
+                picked.append(view.index)
+        # Advance past everything we scanned so skipped apps are not
+        # re-examined first next time (their turn passed).
+        self._cursor = cursor % len(views)
+        return picked
+
+    def reset(self) -> None:
+        self._cursor = 0

@@ -1,0 +1,38 @@
+"""Throughput-oriented arbitration for traditional Het-CMPs
+(paper section 3.2.2, modelling prior work such as Becchi & Crowley)."""
+
+from __future__ import annotations
+
+from repro.arbiter.base import AppView, Arbitrator
+
+
+class MaxSTPArbitrator(Arbitrator):
+    """Give the OoO to the application with the lowest speedup.
+
+    ``speedup`` compares the current InO IPC to the IPC last observed
+    on the OoO; every application is forcibly sampled on the OoO at
+    least once per ``sample_every`` intervals (paper: 50 M cycles) to
+    keep those estimates from going stale.  The OoO is never gated.
+    """
+
+    name = "maxSTP"
+
+    def __init__(self, *, sample_every: int = 50):
+        self.sample_every = sample_every
+
+    def pick(self, views: list[AppView], *, interval_index: int,
+             slots: int = 1) -> list[int]:
+        stale = sorted(
+            (v for v in views
+             if v.ipc_ooo_last is None
+             or v.intervals_since_ooo >= self.sample_every),
+            key=lambda v: -v.intervals_since_ooo,
+        )
+        slowest = sorted(views, key=lambda v: v.speedup)
+        picked: list[int] = []
+        for v in stale + slowest:
+            if v.index not in picked:
+                picked.append(v.index)
+            if len(picked) >= slots:
+                break
+        return picked

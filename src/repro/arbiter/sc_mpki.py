@@ -1,0 +1,88 @@
+"""Energy-efficiency-oriented arbitration (paper section 3.2.1)."""
+
+from __future__ import annotations
+
+from repro.arbiter.base import AppView, Arbitrator
+
+
+class SCMPKIArbitrator(Arbitrator):
+    """Pick the application with the highest ΔSC-MPKI above a threshold.
+
+    ΔSC-MPKI spikes when an application's Schedule Cache goes stale —
+    the prime moment to refresh it on the producer.  Applications that
+    recently held the OoO are damped by a decay factor so that
+    volatile-schedule codes (gcc) do not ping-pong.  When no candidate
+    clears the threshold the OoO is powered down for the interval.
+    """
+
+    name = "SC-MPKI"
+
+    def __init__(self, *, threshold: float = 0.8, decay_strength: float = 8.0,
+                 starvation_intervals: int = 200):
+        self.threshold = threshold
+        self.decay_strength = decay_strength
+        #: Safety valve: every app is sampled on the OoO at least once
+        #: per this many intervals so IPC/SC-MPKI estimates stay fresh.
+        self.starvation_intervals = starvation_intervals
+
+    def _score(self, view: AppView) -> float:
+        delta = view.delta_sc_mpki
+        if delta == float("inf"):
+            return float("inf")
+        decay = 1.0 + self.decay_strength / max(1, view.intervals_since_ooo)
+        return delta / decay
+
+    def pick(self, views: list[AppView], *, interval_index: int,
+             slots: int = 1) -> list[int]:
+        starving = [
+            v for v in views
+            if v.intervals_since_ooo >= self.starvation_intervals
+        ]
+        candidates = sorted(
+            (v for v in views if self._score(v) > self.threshold),
+            key=self._score, reverse=True,
+        )
+        picked: list[int] = []
+        for v in starving + candidates:
+            if v.index not in picked:
+                picked.append(v.index)
+            if len(picked) >= slots:
+                break
+        return picked
+
+
+class SCMPKIMaxSTPArbitrator(Arbitrator):
+    """Throughput-oriented arbitration on the Mirage architecture.
+
+    Prefers memoization opportunities weighted by the slowdown they
+    would repair; when nothing is memoizable it still engages the OoO
+    for the slowest application (never powers down), mirroring the
+    always-on behaviour of maxSTP.
+    """
+
+    name = "SC-MPKI+maxSTP"
+
+    def __init__(self, *, threshold: float = 1.0):
+        self.threshold = threshold
+
+    def pick(self, views: list[AppView], *, interval_index: int,
+             slots: int = 1) -> list[int]:
+        def gain(view: AppView) -> float:
+            slowdown = 1.0 - min(1.0, view.speedup)
+            delta = view.delta_sc_mpki
+            if delta == float("inf"):
+                return float("inf")
+            return delta * max(slowdown, 0.05)
+
+        memoizable = sorted(
+            (v for v in views if v.delta_sc_mpki > self.threshold),
+            key=gain, reverse=True,
+        )
+        fallback = sorted(views, key=lambda v: v.speedup)
+        picked: list[int] = []
+        for v in list(memoizable) + fallback:
+            if v.index not in picked:
+                picked.append(v.index)
+            if len(picked) >= slots:
+                break
+        return picked

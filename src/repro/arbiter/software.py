@@ -1,0 +1,48 @@
+"""Software (OS-level) arbitration (paper section 3.2.4).
+
+The hardware arbitrator reacts at 1 M-cycle interval boundaries; an
+arbitrator in the OS is restricted to scheduler-timeslice granularity
+(~10 ms ≈ 20 M cycles at 2 GHz), i.e. it can only *re-decide* every
+``reaction_intervals`` hardware intervals and holds its last decision
+in between.  The paper predicts its effectiveness is lower because
+memoizability decays sharply at coarser reaction times (Figure 3b);
+:mod:`repro.experiments.software_arbiter` quantifies exactly that.
+"""
+
+from __future__ import annotations
+
+from repro.arbiter.base import AppView, Arbitrator
+
+#: 10 ms OS timeslice over the paper's 1 M-cycle hardware interval.
+OS_TIMESLICE_INTERVALS = 20
+
+
+class SoftwareArbitrator(Arbitrator):
+    """Wraps any arbitrator, limiting it to OS reaction granularity."""
+
+    def __init__(self, inner: Arbitrator,
+                 reaction_intervals: int = OS_TIMESLICE_INTERVALS):
+        if reaction_intervals < 1:
+            raise ValueError("reaction_intervals must be >= 1")
+        self.inner = inner
+        self.reaction_intervals = reaction_intervals
+        self.name = f"software-{inner.name}"
+        self._held: list[int] = []
+        self._decided_at: int | None = None
+
+    def pick(self, views: list[AppView], *, interval_index: int,
+             slots: int = 1) -> list[int]:
+        due = (
+            self._decided_at is None
+            or interval_index - self._decided_at >= self.reaction_intervals
+        )
+        if due:
+            self._held = self.inner.pick(
+                views, interval_index=interval_index, slots=slots)
+            self._decided_at = interval_index
+        return list(self._held)
+
+    def reset(self) -> None:
+        self.inner.reset()
+        self._held = []
+        self._decided_at = None

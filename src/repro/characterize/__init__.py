@@ -1,0 +1,29 @@
+"""Per-benchmark phase characterization.
+
+The interval-level CMP simulator (:mod:`repro.cmp`) advances whole
+arbitration intervals at a time and therefore needs, per benchmark
+phase: the IPC on each core type, the memoizable instruction fraction,
+the schedule working-set size, and the schedule volatility.  Two
+sources provide these :class:`PhaseProfile` sets:
+
+* :func:`analytic_model` derives them from the paper-calibrated targets
+  in :mod:`repro.workloads.profiles` (fast; the default for the big
+  CMP sweeps).
+* :func:`measure_model` runs the detailed cycle-level cores on the
+  synthetic benchmark, one phase at a time (slow; used by Figure 1/2
+  style experiments and validation tests).
+"""
+
+from repro.characterize.phase_model import (
+    AppModel,
+    PhaseProfile,
+    analytic_model,
+    measure_model,
+)
+
+__all__ = [
+    "PhaseProfile",
+    "AppModel",
+    "analytic_model",
+    "measure_model",
+]

@@ -1,0 +1,59 @@
+"""Command-line entry point: ``mirage <experiment> [--quick]``.
+
+Runs one experiment driver (or ``all``) and prints its tables.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.experiments import EXPERIMENTS
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="mirage",
+        description=(
+            "Mirage Cores (MICRO 2017) reproduction: run one of the "
+            "paper's experiments and print its tables."
+        ),
+    )
+    parser.add_argument(
+        "experiment",
+        choices=[*EXPERIMENTS, "all"],
+        help="which table/figure to regenerate",
+    )
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="smaller workloads for a fast smoke run",
+    )
+    parser.add_argument(
+        "--export", metavar="DIR",
+        help="also write each experiment's raw result as JSON in DIR",
+    )
+    args = parser.parse_args(argv)
+
+    names = list(EXPERIMENTS) if args.experiment == "all" else [
+        args.experiment]
+    for name in names:
+        module = EXPERIMENTS[name]
+        print(f"=== {name} ===")
+        start = time.time()
+        module.main(quick=args.quick)
+        if args.export:
+            from pathlib import Path
+
+            from repro.report import to_json
+
+            out_dir = Path(args.export)
+            out_dir.mkdir(parents=True, exist_ok=True)
+            to_json(module.run(), out_dir / f"{name}.json")
+            print(f"[exported {out_dir / (name + '.json')}]")
+        print(f"--- {name} done in {time.time() - start:.1f}s ---\n")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,186 @@
+"""Cycle-level Mirage cluster (detailed-tier CMP).
+
+The interval simulator in :mod:`repro.cmp.system` is the workhorse for
+large sweeps; this module runs a *small* Mirage cluster entirely on
+the detailed core models, with real Schedule Cache contents moving
+between producer and consumers, shared-L2 contention, per-core branch
+predictor state, and L1 flushes on migration.  It exists to validate
+the interval tier's dynamics bottom-up (see
+``tests/test_detailed_cmp.py``) and as a reference implementation of
+the full mechanism.
+
+Time is sliced by *instructions per slice* per application (an
+approximation of the cycle-sliced hardware; fine for validation since
+arbitration decisions depend on per-slice rates, not absolute time).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+
+from repro.arbiter.base import AppView, Arbitrator
+from repro.cores import OinOCore, OutOfOrderCore
+from repro.frontend import BranchTargetBuffer, TournamentPredictor
+from repro.memory import MemoryHierarchy
+from repro.schedule import ScheduleCache, ScheduleRecorder
+from repro.workloads.generator import SyntheticBenchmark
+
+
+@dataclass
+class _DetailedApp:
+    """One application's persistent state across slices."""
+
+    name: str
+    stream: object                 #: persistent instruction generator
+    sc: ScheduleCache              #: travels with the app
+    recorder: ScheduleRecorder
+    consumer: OinOCore             #: its home core (warm bpred/L1)
+    instructions: int = 0
+    cycles: float = 0.0
+    ooo_cycles: float = 0.0
+    ooo_slices: int = 0
+    on_ooo: bool = False
+    ipc_last: float = 0.0
+    ipc_ooo_last: float | None = None
+    sc_mpki_ino: float = 0.0
+    sc_mpki_ooo: float | None = None
+    slices_since_ooo: int = 10**9
+    migrations: int = 0
+
+
+@dataclass
+class DetailedResult:
+    app_names: list[str]
+    ipcs: list[float]
+    ipc_ooo_alone: list[float]
+    ooo_share: list[float]
+    migrations: int
+    sc_bytes_transferred: int
+
+    @property
+    def speedups(self) -> list[float]:
+        return [
+            ipc / alone if alone else 0.0
+            for ipc, alone in zip(self.ipcs, self.ipc_ooo_alone)
+        ]
+
+    @property
+    def stp(self) -> float:
+        s = self.speedups
+        return sum(s) / len(s) if s else 0.0
+
+
+class DetailedMirageCluster:
+    """n consumer OinO cores + 1 producer OoO, cycle-level."""
+
+    def __init__(
+        self,
+        benchmarks: list[SyntheticBenchmark],
+        arbitrator: Arbitrator,
+        *,
+        sc_capacity: int | None = 8 * 1024,
+        slice_instructions: int = 8_000,
+    ):
+        self.arbitrator = arbitrator
+        self.slice_instructions = slice_instructions
+        self.hier = MemoryHierarchy()
+        self.producer_mem = self.hier.core_view(len(benchmarks))
+        # The producer's frontend state is physical: one predictor and
+        # BTB shared by whichever application currently occupies it.
+        self.producer_bpred = TournamentPredictor()
+        self.producer_btb = BranchTargetBuffer()
+        self.apps: list[_DetailedApp] = []
+        for i, bench in enumerate(benchmarks):
+            sc = ScheduleCache(sc_capacity)
+            self.apps.append(_DetailedApp(
+                name=bench.name,
+                stream=bench.stream(),
+                sc=sc,
+                recorder=ScheduleRecorder(sc),
+                consumer=OinOCore(self.hier.core_view(i), sc),
+            ))
+        self.sc_bytes_transferred = 0
+        self.total_migrations = 0
+
+    # ------------------------------------------------------------------
+    def _views(self) -> list[AppView]:
+        return [
+            AppView(
+                index=i, name=app.name, ipc_current=app.ipc_last,
+                ipc_ooo_last=app.ipc_ooo_last,
+                sc_mpki_ino=app.sc_mpki_ino,
+                sc_mpki_ooo=app.sc_mpki_ooo,
+                intervals_since_ooo=app.slices_since_ooo,
+                util=(app.ooo_cycles / app.cycles) if app.cycles else 0.0,
+                on_ooo=app.on_ooo,
+            )
+            for i, app in enumerate(self.apps)
+        ]
+
+    def run(self, *, n_slices: int = 20) -> DetailedResult:
+        for k in range(n_slices):
+            chosen = self.arbitrator.pick(
+                self._views(), interval_index=k, slots=1)
+            chosen_idx = chosen[0] if chosen else None
+            for i, app in enumerate(self.apps):
+                going_to_ooo = i == chosen_idx
+                if going_to_ooo != app.on_ooo:
+                    self._migrate(app, to_ooo=going_to_ooo)
+                self._run_slice(app)
+        # Reference: each benchmark alone on an OoO, same length.
+        return DetailedResult(
+            app_names=[a.name for a in self.apps],
+            ipcs=[a.instructions / a.cycles if a.cycles else 0.0
+                  for a in self.apps],
+            ipc_ooo_alone=[self._alone_ipc(a) for a in self.apps],
+            ooo_share=[a.ooo_cycles / a.cycles if a.cycles else 0.0
+                       for a in self.apps],
+            migrations=self.total_migrations,
+            sc_bytes_transferred=self.sc_bytes_transferred,
+        )
+
+    # ------------------------------------------------------------------
+    def _migrate(self, app: _DetailedApp, *, to_ooo: bool) -> None:
+        app.on_ooo = to_ooo
+        app.migrations += 1
+        self.total_migrations += 1
+        # SC contents cross the shared bus; L1s drain on the way out.
+        payload = app.sc.used_bytes + 2048
+        self.hier.bus.transfer(int(app.cycles), payload)
+        self.sc_bytes_transferred += app.sc.used_bytes
+        if to_ooo:
+            app.consumer.memory.flush_for_migration()
+        else:
+            self.producer_mem.flush_for_migration()
+
+    def _run_slice(self, app: _DetailedApp) -> None:
+        n = self.slice_instructions
+        window = itertools.islice(app.stream, n)
+        if app.on_ooo:
+            before_misses = app.sc.stats.misses
+            core = OutOfOrderCore(
+                self.producer_mem, recorder=app.recorder,
+                predictor=self.producer_bpred, btb=self.producer_btb,
+            )
+            result = core.run(window, n)
+            misses = app.sc.stats.misses - before_misses
+            app.sc_mpki_ooo = 1000.0 * misses / max(1, result.instructions)
+            app.ipc_ooo_last = result.ipc
+            app.ooo_cycles += result.cycles
+            app.ooo_slices += 1
+            app.slices_since_ooo = 0
+        else:
+            result = app.consumer.run(window, n)
+            app.sc_mpki_ino = result.stats.sc_mpki()
+            app.slices_since_ooo += 1
+        app.instructions += result.instructions
+        app.cycles += result.cycles
+        app.ipc_last = result.ipc
+
+    def _alone_ipc(self, app: _DetailedApp) -> float:
+        """IPC of this benchmark alone on a private OoO (reference)."""
+        from repro.workloads.profiles import get_profile
+        # Use the calibration target: measuring here would perturb the
+        # shared hierarchy. Good enough for speedup normalization.
+        return get_profile(app.name).target_ipc_ooo

@@ -1,0 +1,160 @@
+"""Multithreaded Mirage (paper section 6, discussion).
+
+If the threads of a parallel program perform homogeneous work, the
+producer OoO can memoize *one* thread's repeatable phases and
+broadcast the schedules to every InO in the cluster — one memoization
+attempt speeds up all threads.  The paper discusses this qualitatively;
+this module models it on the interval tier:
+
+* all threads execute the same :class:`~repro.characterize.AppModel`
+  (with per-thread progress skew);
+* when the thread on the producer refreshes its Schedule Cache, the
+  contents are broadcast over the shared bus to every sibling whose
+  execution is in the same phase.
+
+Comparing ``broadcast=True`` against per-thread memoization shows the
+claimed effect: near-equal throughput at a fraction of the OoO time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.arbiter.base import Arbitrator
+from repro.arbiter.sc_mpki import SCMPKIArbitrator
+from repro.characterize.phase_model import AppModel
+from repro.cmp.config import ClusterConfig
+from repro.cmp.migration import MigrationCostModel
+from repro.cmp.system import AppState, CMPResult
+from repro.energy.model import CoreEnergyModel
+from repro.metrics import util_share
+
+
+@dataclass
+class ThreadedResult:
+    """Outcome of a multithreaded Mirage run."""
+
+    n_threads: int
+    broadcast: bool
+    intervals: int
+    thread_speedups: list[float]
+    ooo_active_fraction: float
+    memoize_phases: int          #: intervals spent producing schedules
+    energy_pj: float
+
+    @property
+    def stp(self) -> float:
+        if not self.thread_speedups:
+            return 0.0
+        return sum(self.thread_speedups) / len(self.thread_speedups)
+
+
+class MultithreadedMirage:
+    """n homogeneous threads on one Mirage cluster."""
+
+    def __init__(
+        self,
+        config: ClusterConfig,
+        model: AppModel,
+        *,
+        arbitrator: Arbitrator | None = None,
+        broadcast: bool = True,
+        skew_instructions: int = 50_000,
+        energy_model: CoreEnergyModel | None = None,
+    ):
+        if not config.mirage:
+            raise ValueError("multithreaded sharing needs OinO consumers")
+        self.config = config
+        self.model = model
+        self.arbitrator = arbitrator or SCMPKIArbitrator()
+        self.broadcast = broadcast
+        self.energy_model = energy_model or CoreEnergyModel()
+        self.migration = MigrationCostModel(config)
+        self.threads = [
+            AppState(model=model, instr_done=float(i * skew_instructions))
+            for i in range(config.n_consumers)
+        ]
+
+    def run(self, *, max_intervals: int = 50_000) -> ThreadedResult:
+        cfg = self.config
+        interval = cfg.scale.interval_cycles
+        budget = cfg.scale.app_instruction_budget
+        em = self.energy_model
+        ooo_active = 0
+        memoize_phases = 0
+        k = 0
+        from repro.cmp.system import CMPSystem  # view construction
+        views_of = CMPSystem._views
+
+        while k < max_intervals:
+            if all(t.completions >= 1 for t in self.threads):
+                break
+            chosen = self.arbitrator.pick(
+                views_of(self), interval_index=k, slots=cfg.n_producers,
+            )[: cfg.n_producers]
+            now = k * interval
+            mig_cost = [0.0] * len(self.threads)
+            for i, thread in enumerate(self.threads):
+                should = i in chosen
+                if should != thread.on_ooo:
+                    sc_bytes = int(
+                        thread.sc_coverage * cfg.sc_capacity_bytes)
+                    event = self.migration.migrate(
+                        f"t{i}", now_cycles=now, interval_index=k,
+                        to_ooo=should, sc_bytes=sc_bytes,
+                    )
+                    mig_cost[i] = min(interval * 0.9, event.total_cycles)
+                    thread.on_ooo = should
+            if chosen:
+                ooo_active += 1
+                memoize_phases += 1
+            for i, thread in enumerate(self.threads):
+                self._advance(thread, interval, mig_cost[i], em, k, budget)
+            # Broadcast: the freshly produced schedules reach every
+            # sibling in the same phase, over the shared bus.
+            if self.broadcast and chosen:
+                producer = self.threads[chosen[0]]
+                payload = int(
+                    producer.sc_coverage * cfg.sc_capacity_bytes)
+                for i, thread in enumerate(self.threads):
+                    if i == chosen[0] or thread.on_ooo:
+                        continue
+                    if (self.model.phase_at(thread.instr_done).phase_id
+                            == producer.sc_phase_id):
+                        self.migration.bus.transfer(now, payload)
+                        thread.sc_phase_id = producer.sc_phase_id
+                        thread.sc_coverage = max(
+                            thread.sc_coverage, producer.sc_coverage)
+            k += 1
+
+        total_cycles = k * interval
+        speedups = []
+        for thread in self.threads:
+            alone = budget / max(1e-9, self.model.mean_ipc_ooo)
+            took = thread.first_completion_cycles or total_cycles
+            speedups.append(min(1.0, alone / max(1e-9, took)))
+        return ThreadedResult(
+            n_threads=len(self.threads),
+            broadcast=self.broadcast,
+            intervals=k,
+            thread_speedups=speedups,
+            ooo_active_fraction=ooo_active / k if k else 0.0,
+            memoize_phases=memoize_phases,
+            energy_pj=sum(t.energy_pj for t in self.threads),
+        )
+
+    # Reuse the single-app advance logic: threads behave exactly like
+    # independent applications of the same model between broadcasts.
+    def _advance(self, app: AppState, interval: int, mig_cost: float,
+                 em: CoreEnergyModel, k: int, budget: int) -> None:
+        from repro.cmp.system import CMPSystem
+        CMPSystem._advance(self, app, interval, mig_cost, em, k, budget)
+
+    # _advance/_views expect these attributes on `self`:
+    @property
+    def apps(self) -> list[AppState]:
+        return self.threads
+
+    @property
+    def record_history(self) -> bool:
+        return False

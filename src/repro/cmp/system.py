@@ -1,0 +1,367 @@
+"""The interval-driven CMP simulator.
+
+Each application owns one consumer core; one (or more) producer OoO
+cores are shared through the arbitrator.  The simulator advances all
+cores one arbitration interval at a time:
+
+1. Build each application's performance-counter view and ask the
+   arbitrator who gets the OoO(s) — possibly nobody (power-gated).
+2. Charge migration costs (pipeline drain, L1 warm-up, SC transfer
+   over the shared bus) to the applications that moved.
+3. Advance every application by the interval's effective cycles at the
+   IPC its current core and Schedule Cache state deliver, evolving SC
+   coverage (refresh on the producer, staleness decay and phase-change
+   invalidation on the consumer).
+4. Integrate per-core energy; idle producers power-gate.
+
+Applications that finish their instruction budget restart (paper
+section 4.1); the run ends when every application has completed the
+budget at least once.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.arbiter.base import AppView, Arbitrator
+from repro.characterize.phase_model import AppModel, PhaseProfile
+from repro.cmp.config import ClusterConfig
+from repro.cmp.migration import MigrationCostModel
+from repro.energy.model import CoreEnergyModel
+from repro.metrics import system_throughput, util_share
+
+
+@dataclass(slots=True)
+class AppState:
+    """Mutable per-application simulation state."""
+
+    model: AppModel
+    instr_done: float = 0.0
+    completions: int = 0
+    first_completion_cycles: float | None = None
+    on_ooo: bool = False
+    # Schedule Cache state (Mirage consumers only).
+    sc_phase_id: int | None = None
+    sc_coverage: float = 0.0
+    # Performance counters the arbitrator polls.
+    ipc_last: float = 0.0
+    ipc_ooo_last: float | None = None
+    sc_mpki_ino_last: float = 0.0
+    sc_mpki_ooo_last: float | None = None
+    intervals_since_ooo: int = 10**9
+    # Utilization bookkeeping (Equation 3).
+    t_ooo: float = 0.0
+    t_memoized: float = 0.0
+    t_total: float = 0.0
+    ooo_intervals: int = 0
+    energy_pj: float = 0.0
+
+
+@dataclass(slots=True)
+class IntervalSample:
+    """One history row for timeline figures (5 and 10)."""
+
+    interval: int
+    app: str
+    on_ooo: bool
+    ipc: float
+    speedup: float
+    sc_mpki_ino: float
+    delta_sc_mpki: float
+    phase_id: int
+
+
+@dataclass
+class CMPResult:
+    """Outcome of one CMP simulation."""
+
+    config_name: str
+    arbitrator_name: str
+    intervals: int
+    total_cycles: float
+    app_names: list[str]
+    speedups: list[float]            #: per-app, vs running alone on OoO
+    energy_pj: float
+    ooo_active_fraction: float
+    ooo_share_per_app: list[float]   #: fraction of OoO-active intervals
+    migrations: int
+    migration_cost_cycles: dict[str, float]
+    migration_frequency: float       #: migrations per interval
+    history: list[IntervalSample] = field(default_factory=list)
+
+    @property
+    def stp(self) -> float:
+        return system_throughput(self.speedups)
+
+
+class CMPSystem:
+    """Interval-level simulator for one cluster and one workload mix."""
+
+    def __init__(
+        self,
+        config: ClusterConfig,
+        apps: list[AppModel],
+        arbitrator: Arbitrator | None,
+        *,
+        energy_model: CoreEnergyModel | None = None,
+        record_history: bool = False,
+    ):
+        if (config.n_producers > 0
+                and config.n_consumers + config.n_producers < len(apps)):
+            raise ValueError(
+                f"{config.name} has {config.n_consumers + config.n_producers}"
+                f" cores for {len(apps)} apps"
+            )
+        if config.n_consumers < len(apps) and config.n_producers > 0:
+            # Fewer consumers than apps (e.g. the 5:3 area-neutral
+            # study): the producers must always be occupied or some
+            # application would have no core; only the never-gating
+            # arbitrators are safe on such configs.
+            self._producers_always_busy = True
+        else:
+            self._producers_always_busy = False
+        if config.n_producers > 0 and arbitrator is None:
+            raise ValueError("a producer CMP needs an arbitrator")
+        self.config = config
+        self.apps = [AppState(model=m) for m in apps]
+        self.arbitrator = arbitrator
+        self.energy_model = energy_model or CoreEnergyModel()
+        self.migration = MigrationCostModel(config)
+        self.record_history = record_history
+        self.history: list[IntervalSample] = []
+
+    # ------------------------------------------------------------------
+    def _views(self) -> list[AppView]:
+        views = []
+        for i, app in enumerate(self.apps):
+            views.append(AppView(
+                index=i,
+                name=app.model.name,
+                ipc_current=app.ipc_last,
+                ipc_ooo_last=app.ipc_ooo_last,
+                sc_mpki_ino=app.sc_mpki_ino_last,
+                sc_mpki_ooo=app.sc_mpki_ooo_last,
+                intervals_since_ooo=app.intervals_since_ooo,
+                util=util_share(
+                    app.t_ooo, app.t_memoized,
+                    min(1.0, app.ipc_last / max(1e-9, app.ipc_ooo_last))
+                    if app.ipc_ooo_last else 0.0,
+                    max(1.0, app.t_total),
+                ),
+                on_ooo=app.on_ooo,
+            ))
+        return views
+
+    # ------------------------------------------------------------------
+    def run(self, *, max_intervals: int = 50_000) -> CMPResult:
+        cfg = self.config
+        scale = cfg.scale
+        interval = scale.interval_cycles
+        budget = scale.app_instruction_budget
+        em = self.energy_model
+        ooo_active_intervals = 0
+        ooo_share = [0] * len(self.apps)
+
+        k = 0
+        while k < max_intervals:
+            if all(a.completions >= 1 for a in self.apps):
+                break
+            now = k * interval
+
+            # ---- arbitration ----
+            chosen: list[int] = []
+            if cfg.n_producers > 0 and self.arbitrator is not None:
+                chosen = self.arbitrator.pick(
+                    self._views(), interval_index=k,
+                    slots=cfg.n_producers,
+                )[: cfg.n_producers]
+
+            # ---- migrations ----
+            mig_cost = [0.0] * len(self.apps)
+            for i, app in enumerate(self.apps):
+                should_be_on = i in chosen
+                if should_be_on != app.on_ooo:
+                    sc_bytes = 0
+                    if cfg.mirage:
+                        sc_bytes = int(
+                            app.sc_coverage * cfg.sc_capacity_bytes)
+                    event = self.migration.migrate(
+                        app.model.name, now_cycles=now, interval_index=k,
+                        to_ooo=should_be_on, sc_bytes=sc_bytes,
+                    )
+                    mig_cost[i] = min(interval * 0.9, event.total_cycles)
+                    app.on_ooo = should_be_on
+
+            # ---- execute the interval ----
+            if chosen:
+                ooo_active_intervals += 1
+                for i in chosen:
+                    ooo_share[i] += 1
+            for i, app in enumerate(self.apps):
+                self._advance(app, interval, mig_cost[i], em, k, budget)
+            k += 1
+
+        total_cycles = k * interval
+        speedups = []
+        for app in self.apps:
+            alone = budget / max(1e-9, app.model.mean_ipc_ooo)
+            took = app.first_completion_cycles or total_cycles
+            speedups.append(min(1.0, alone / max(1e-9, took)))
+        active_total = max(1, ooo_active_intervals)
+        return CMPResult(
+            config_name=cfg.name,
+            arbitrator_name=(
+                self.arbitrator.name if self.arbitrator else "none"),
+            intervals=k,
+            total_cycles=total_cycles,
+            app_names=[a.model.name for a in self.apps],
+            speedups=speedups,
+            energy_pj=sum(a.energy_pj for a in self.apps),
+            ooo_active_fraction=(
+                ooo_active_intervals / k if k and cfg.n_producers else 0.0),
+            ooo_share_per_app=[s / active_total for s in ooo_share],
+            migrations=self.migration.total_migrations,
+            migration_cost_cycles=self.migration.cost_summary(),
+            migration_frequency=(
+                self.migration.total_migrations / k if k else 0.0),
+            history=self.history,
+        )
+
+    # ------------------------------------------------------------------
+    def _advance(self, app: AppState, interval: int, mig_cost: float,
+                 em: CoreEnergyModel, k: int, budget: int) -> None:
+        cfg = self.config
+        effective = max(0.0, interval - mig_cost)
+        phase = app.model.phase_at(app.instr_done)
+
+        if app.on_ooo:
+            ipc = phase.ipc_ooo
+            kind = "ooo"
+            memo_frac = 0.0
+            if cfg.mirage:
+                # The producer refreshes the SC with this phase's
+                # schedules, as far as they fit in 8 KB.
+                fit = min(1.0, (cfg.sc_capacity_bytes / 1024.0)
+                          / max(0.25, phase.trace_kb))
+                app.sc_phase_id = phase.phase_id
+                app.sc_coverage = fit
+                app.sc_mpki_ooo_last = phase.sc_mpki_ooo
+                sc_mpki = phase.sc_mpki_ooo
+                # While memoizing, the consumer-side staleness signal
+                # is satisfied: fresh schedules are being produced.
+                # (Without this the app camps on the OoO, because its
+                # last InO-side SC-MPKI reading stays frozen high.)
+                app.sc_mpki_ino_last = phase.sc_mpki_ooo
+            else:
+                sc_mpki = 0.0
+            app.t_ooo += effective
+            app.intervals_since_ooo = 0
+            app.ooo_intervals += 1
+            app.ipc_ooo_last = ipc
+        else:
+            app.intervals_since_ooo += 1
+            if cfg.mirage:
+                if app.sc_phase_id == phase.phase_id:
+                    app.sc_coverage *= (1.0 - phase.volatility)
+                else:
+                    app.sc_coverage = 0.0   # stale: schedules useless
+                coverage = app.sc_coverage
+                ipc = phase.ipc_oino(coverage)
+                sc_mpki = phase.sc_mpki_ino(coverage)
+                memo_frac = phase.memoizable * coverage
+                app.t_memoized += effective * memo_frac
+                kind = "oino"
+            else:
+                ipc = phase.ipc_ino
+                sc_mpki = 0.0
+                memo_frac = 0.0
+                kind = "ino"
+
+        app.ipc_last = ipc
+        app.sc_mpki_ino_last = sc_mpki if not app.on_ooo else (
+            app.sc_mpki_ino_last)
+        app.t_total += interval
+
+        # Progress and budget completion.
+        before = app.instr_done
+        app.instr_done += ipc * effective
+        if (before % budget) + ipc * effective >= budget:
+            app.completions += 1
+            if app.first_completion_cycles is None:
+                frac = (budget - before % budget) / max(
+                    1e-9, ipc * effective)
+                app.first_completion_cycles = (k + frac) * interval
+
+        # Energy to completion: each application is charged until it
+        # finishes its instruction budget once (restarted filler work
+        # is not billed, so one slow application cannot dominate the
+        # whole CMP's energy figure through its tail).
+        if app.first_completion_cycles is None or app.completions == 0:
+            if kind == "oino":
+                # Blend OinO-mode power by how much replay happened.
+                epi = (memo_frac * em.EPI_PJ["oino"]
+                       + (1 - memo_frac) * em.EPI_PJ["ino"])
+                leak = em.leakage["ino"] + em.leakage["oino_extra"] + \
+                    em.leakage["sc"]
+                app.energy_pj += (leak + epi * ipc) * interval
+            else:
+                app.energy_pj += em.interval_energy(kind, ipc, interval)
+
+        if self.record_history:
+            alone_ipc = phase.ipc_ooo
+            self.history.append(IntervalSample(
+                interval=k,
+                app=app.model.name,
+                on_ooo=app.on_ooo,
+                ipc=ipc,
+                speedup=min(1.0, ipc / max(1e-9, alone_ipc)),
+                sc_mpki_ino=sc_mpki,
+                delta_sc_mpki=(
+                    (sc_mpki - (app.sc_mpki_ooo_last or 0.1))
+                    / max(0.1, app.sc_mpki_ooo_last or 0.1)),
+                phase_id=phase.phase_id,
+            ))
+
+
+# ----------------------------------------------------------------------
+# Homogeneous baselines
+# ----------------------------------------------------------------------
+def run_homo(apps: list[AppModel], *, kind: str,
+             config: ClusterConfig,
+             energy_model: CoreEnergyModel | None = None) -> CMPResult:
+    """Run every app on its own core of *kind* ("ooo" or "ino").
+
+    Models the 0:n Homo-OoO and n:0 Homo-InO baselines: no arbitration,
+    no migration, no Schedule Cache.
+    """
+    if kind not in ("ooo", "ino"):
+        raise ValueError("kind must be 'ooo' or 'ino'")
+    em = energy_model or CoreEnergyModel()
+    budget = config.scale.app_instruction_budget
+    speedups = []
+    energy = 0.0
+    longest = 0.0
+    for model in apps:
+        ipc = model.mean_ipc_ooo if kind == "ooo" else model.mean_ipc_ino
+        cycles = budget / max(1e-9, ipc)
+        alone = budget / max(1e-9, model.mean_ipc_ooo)
+        speedups.append(min(1.0, alone / cycles))
+        longest = max(longest, cycles)
+        # Energy to completion (same accounting as CMPSystem).
+        energy += em.interval_energy(kind, ipc, int(cycles))
+    name = f"{len(apps)}x{kind.upper()}-homo"
+    return CMPResult(
+        config_name=name,
+        arbitrator_name="none",
+        intervals=int(longest / config.scale.interval_cycles) + 1,
+        total_cycles=longest,
+        app_names=[m.name for m in apps],
+        speedups=speedups,
+        energy_pj=energy,
+        ooo_active_fraction=1.0 if kind == "ooo" else 0.0,
+        ooo_share_per_app=[1.0 / len(apps)] * len(apps) if kind == "ooo"
+        else [0.0] * len(apps),
+        migrations=0,
+        migration_cost_cycles={},
+        migration_frequency=0.0,
+    )

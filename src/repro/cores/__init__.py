@@ -1,0 +1,46 @@
+"""Cycle-level core models.
+
+Three machines, all 3-wide with identical functional units (the paper's
+configuration, chosen so issue schedules transfer directly):
+
+* :class:`~repro.cores.ooo.OutOfOrderCore` — 12-stage, 128-entry ROB,
+  dataflow issue within the ROB window; optionally records trace issue
+  schedules through a :class:`~repro.schedule.recorder.ScheduleRecorder`.
+* :class:`~repro.cores.inorder.InOrderCore` — 8-stage, stall-on-use,
+  program-order issue.
+* :class:`~repro.cores.oino.OinOCore` — an InOrderCore augmented with
+  the OinO mode: traces that hit in the Schedule Cache issue in their
+  recorded OoO order (atomically, with a replay LSQ and expanded PRF);
+  misses and misspeculations fall back to program order.
+
+The models are *dataflow-slot* simulators: one pass per instruction
+computes fetch/issue/complete/commit cycles subject to machine width,
+window occupancy, functional-unit counts, cache latencies and branch
+redirects, rather than iterating cycle by cycle (see DESIGN.md §5).
+"""
+
+from repro.cores.base import CoreResult, CoreStats, EnergyEvents
+from repro.cores.functional_units import FUPool, SlotPool, fu_type_for
+from repro.cores.inorder import InOrderCore
+from repro.cores.oino import OinOCore
+from repro.cores.ooo import OutOfOrderCore
+from repro.cores.params import (
+    INO_PARAMS,
+    OOO_PARAMS,
+    CoreParams,
+)
+
+__all__ = [
+    "CoreParams",
+    "OOO_PARAMS",
+    "INO_PARAMS",
+    "CoreResult",
+    "CoreStats",
+    "EnergyEvents",
+    "FUPool",
+    "SlotPool",
+    "fu_type_for",
+    "OutOfOrderCore",
+    "InOrderCore",
+    "OinOCore",
+]

@@ -1,0 +1,84 @@
+"""Common core infrastructure: stats, energy event counters, results."""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+
+
+class EnergyEvents(Counter):
+    """Per-structure activity counts consumed by :mod:`repro.energy`.
+
+    Keys are structure names (``"rob"``, ``"prf"``, ``"scheduler"`` ...)
+    matching :data:`repro.energy.model.DYNAMIC_ENERGY_PJ`.
+    """
+
+    def bump(self, structure: str, count: int = 1) -> None:
+        self[structure] += count
+
+
+@dataclass(slots=True)
+class CoreStats:
+    """Aggregate outcome counters for one simulation window."""
+
+    instructions: int = 0
+    cycles: int = 0
+    branches: int = 0
+    mispredicts: int = 0
+    loads: int = 0
+    stores: int = 0
+    l1i_misses: int = 0
+    l1d_misses: int = 0
+    l2_misses: int = 0
+    traces: int = 0
+    # OinO-mode specific:
+    sc_trace_hits: int = 0
+    sc_trace_misses: int = 0
+    memoized_instructions: int = 0
+    trace_aborts: int = 0
+    abort_penalty_cycles: int = 0
+
+    @property
+    def ipc(self) -> float:
+        if self.cycles == 0:
+            return 0.0
+        return self.instructions / self.cycles
+
+    @property
+    def mispredict_rate(self) -> float:
+        if self.branches == 0:
+            return 0.0
+        return self.mispredicts / self.branches
+
+    def sc_mpki(self) -> float:
+        """SC trace-lookup misses per kilo committed instructions."""
+        if self.instructions == 0:
+            return 0.0
+        return 1000.0 * self.sc_trace_misses / self.instructions
+
+    @property
+    def memoized_fraction(self) -> float:
+        if self.instructions == 0:
+            return 0.0
+        return self.memoized_instructions / self.instructions
+
+
+@dataclass(slots=True)
+class CoreResult:
+    """What a core run returns: timing stats plus energy activity."""
+
+    core_name: str
+    stats: CoreStats
+    energy_events: EnergyEvents
+
+    @property
+    def ipc(self) -> float:
+        return self.stats.ipc
+
+    @property
+    def cycles(self) -> int:
+        return self.stats.cycles
+
+    @property
+    def instructions(self) -> int:
+        return self.stats.instructions

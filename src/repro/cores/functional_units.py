@@ -1,0 +1,125 @@
+"""Issue-slot and functional-unit occupancy accounting.
+
+The dataflow-slot core models need to answer one question efficiently:
+*given an earliest-ready cycle, when can this instruction actually
+issue?*  :class:`SlotPool` tracks per-cycle usage of a resource with a
+fixed per-cycle capacity; :class:`FUPool` combines the global issue
+width with per-FU-type unit counts and (for divides) non-pipelined
+initiation intervals.
+"""
+
+from __future__ import annotations
+
+from repro.isa.instructions import OpClass
+
+#: Functional-unit types.
+FU_INT = "int_alu"
+FU_MUL = "int_mul"
+FU_FP = "fp_alu"
+FU_FDIV = "fp_div"
+FU_MEM = "mem_port"
+FU_BR = "branch"
+
+_FU_FOR_OPCLASS = {
+    OpClass.IALU: FU_INT,
+    OpClass.IMUL: FU_MUL,
+    OpClass.IDIV: FU_MUL,
+    OpClass.FALU: FU_FP,
+    OpClass.FMUL: FU_FP,
+    OpClass.FDIV: FU_FDIV,
+    OpClass.LOAD: FU_MEM,
+    OpClass.STORE: FU_MEM,
+    OpClass.BRANCH: FU_BR,
+    OpClass.NOP: FU_INT,
+}
+
+#: Unit counts for the 3-wide machine (same for OoO and InO, paper §4.2).
+DEFAULT_FU_COUNTS = {
+    FU_INT: 3,
+    FU_MUL: 1,
+    FU_FP: 2,
+    FU_FDIV: 1,
+    FU_MEM: 2,
+    FU_BR: 1,
+}
+
+#: Op classes that occupy their unit for the full latency (unpipelined).
+_UNPIPELINED = frozenset({OpClass.IDIV, OpClass.FDIV})
+
+
+def fu_type_for(opclass: OpClass) -> str:
+    """Functional-unit type an instruction of *opclass* executes on."""
+    return _FU_FOR_OPCLASS[opclass]
+
+
+class SlotPool:
+    """Per-cycle capacity tracker with lazy pruning.
+
+    Cycle indices only grow over a run; entries far behind the
+    high-water mark are pruned in bulk to bound memory.
+    """
+
+    __slots__ = ("capacity", "_used", "_horizon", "_prune_at")
+
+    def __init__(self, capacity: int, prune_window: int = 50_000):
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.capacity = capacity
+        self._used: dict[int, int] = {}
+        self._horizon = 0
+        self._prune_at = prune_window
+
+    def earliest_free(self, cycle: int, span: int = 1) -> int:
+        """First cycle >= *cycle* with *span* consecutive free slots."""
+        used = self._used
+        cap = self.capacity
+        c = cycle
+        while True:
+            for offset in range(span):
+                if used.get(c + offset, 0) >= cap:
+                    c = c + offset + 1
+                    break
+            else:
+                return c
+
+    def reserve(self, cycle: int, span: int = 1) -> None:
+        """Consume one slot in each of cycles [cycle, cycle+span)."""
+        used = self._used
+        for c in range(cycle, cycle + span):
+            used[c] = used.get(c, 0) + 1
+        if cycle > self._horizon:
+            self._horizon = cycle
+        if len(used) > self._prune_at:
+            self._prune()
+
+    def _prune(self) -> None:
+        floor = self._horizon - self._prune_at // 2
+        self._used = {c: n for c, n in self._used.items() if c >= floor}
+
+    def usage_at(self, cycle: int) -> int:
+        return self._used.get(cycle, 0)
+
+
+class FUPool:
+    """Joint issue-width + functional-unit availability."""
+
+    def __init__(self, width: int, counts: dict[str, int] | None = None):
+        self.width = width
+        counts = dict(DEFAULT_FU_COUNTS if counts is None else counts)
+        self.issue_slots = SlotPool(width)
+        self.units = {fu: SlotPool(n) for fu, n in counts.items()}
+
+    def issue_at(self, opclass: OpClass, earliest: int, latency: int) -> int:
+        """Find and reserve the first cycle >= *earliest* that has both a
+        free issue slot and a free unit; returns the issue cycle."""
+        unit = self.units[fu_type_for(opclass)]
+        span = latency if opclass in _UNPIPELINED else 1
+        cycle = earliest
+        while True:
+            cycle = self.issue_slots.earliest_free(cycle)
+            unit_cycle = unit.earliest_free(cycle, span)
+            if unit_cycle == cycle:
+                self.issue_slots.reserve(cycle)
+                unit.reserve(cycle, span)
+                return cycle
+            cycle = unit_cycle

@@ -1,0 +1,255 @@
+"""Out-of-order core model (dataflow-slot style).
+
+One pass per instruction computes, in program order, when it fetches,
+issues, completes and commits, subject to:
+
+* fetch width and L1I-line access latency, branch-redirect bubbles
+  (mispredicted branches restart fetch when they resolve), BTB misses;
+* a ``rob_size``-entry window: an instruction cannot dispatch until the
+  instruction ``rob_size`` older has committed;
+* register dataflow (renaming removes WAR/WAW, so only RAW matters);
+* issue width and functional-unit counts (divides are unpipelined);
+* an ``lsq_size``-entry load/store queue and dcache access latencies,
+  with same-line store->load ordering enforced;
+* in-order commit at machine width.
+
+When a :class:`~repro.schedule.recorder.ScheduleRecorder` is attached,
+each completed trace is reported together with its issue permutation,
+and a Schedule Cache lookup is performed per trace so that SC-MPKI is
+measured on the producer side too (the arbitrator's memoizability
+signal, paper section 3.2.1).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+from repro.cores.base import CoreResult, CoreStats, EnergyEvents
+from repro.cores.functional_units import FUPool, SlotPool, fu_type_for
+from repro.cores.params import OOO_PARAMS, CoreParams
+from repro.frontend.branch_predictor import (
+    BranchPredictor,
+    TournamentPredictor,
+)
+from repro.frontend.btb import BranchTargetBuffer
+from repro.isa.instructions import Instruction, OpClass
+from repro.memory.hierarchy import CoreMemory, MemoryHierarchy
+from repro.schedule.recorder import ScheduleRecorder
+from repro.schedule.trace import TraceBuilder
+
+_LINE_SHIFT = 6
+
+
+def standalone_memory(core_id: int = 0) -> CoreMemory:
+    """A private memory hierarchy for single-core experiments."""
+    return MemoryHierarchy().core_view(core_id)
+
+
+class OutOfOrderCore:
+    """3-wide out-of-order producer core."""
+
+    def __init__(
+        self,
+        memory: CoreMemory,
+        *,
+        params: CoreParams = OOO_PARAMS,
+        predictor: BranchPredictor | None = None,
+        btb: BranchTargetBuffer | None = None,
+        recorder: ScheduleRecorder | None = None,
+    ):
+        self.params = params
+        self.memory = memory
+        self.predictor = predictor or TournamentPredictor()
+        self.btb = btb or BranchTargetBuffer()
+        self.recorder = recorder
+
+    def run(
+        self,
+        stream: Iterable[Instruction],
+        max_instructions: int,
+        *,
+        start_cycle: int = 0,
+    ) -> CoreResult:
+        """Execute up to *max_instructions* from *stream*."""
+        p = self.params
+        stats = CoreStats()
+        energy = EnergyEvents()
+        fus = FUPool(p.width)
+        commit_slots = SlotPool(p.width)
+
+        reg_ready: dict[int, int] = {}
+        store_line_ready: dict[int, int] = {}
+        rob_ring: list[int] = [0] * p.rob_size
+        lq_ring: list[int] = [0] * p.lq_size
+        sq_ring: list[int] = [0] * p.sq_size
+
+        fetch_cycle = start_cycle
+        fetched_in_cycle = 0
+        redirect_at = start_cycle
+        last_fetch_line = -1
+        last_commit = start_cycle
+
+        trace_builder = TraceBuilder()
+        trace_issues: list[int] = []
+        trace_first_issue = -1
+        trace_last_complete = 0
+        recorder = self.recorder
+        sc = recorder.sc if recorder is not None else None
+
+        n = 0
+        loads = 0
+        stores = 0
+        for insn in stream:
+            if n >= max_instructions:
+                break
+            # ---------------- fetch ----------------
+            if fetch_cycle < redirect_at:
+                fetch_cycle = redirect_at
+                fetched_in_cycle = 0
+            line = insn.pc >> _LINE_SHIFT
+            if line != last_fetch_line:
+                res = self.memory.fetch(insn.pc, now=fetch_cycle)
+                energy.bump("icache")
+                if not res.l1_hit:
+                    stats.l1i_misses += 1
+                    if not res.l2_hit:
+                        stats.l2_misses += 1
+                    fetch_cycle += res.latency - self.memory.l1_latency
+                    fetched_in_cycle = 0
+                last_fetch_line = line
+            if fetched_in_cycle >= p.width:
+                fetch_cycle += 1
+                fetched_in_cycle = 0
+            fetched_in_cycle += 1
+            energy.bump("fetch")
+            energy.bump("decode")
+            energy.bump("rename")
+
+            # ---------------- dispatch (ROB/LSQ occupancy) -------------
+            dispatch = fetch_cycle + p.fetch_to_issue
+            rob_slot = n % p.rob_size
+            if dispatch <= rob_ring[rob_slot]:
+                dispatch = rob_ring[rob_slot] + 1
+            lsq_slot = -1
+            if insn.is_load:
+                lsq_slot = loads % p.lq_size
+                if dispatch <= lq_ring[lsq_slot]:
+                    dispatch = lq_ring[lsq_slot] + 1
+            elif insn.is_store:
+                lsq_slot = stores % p.sq_size
+                if dispatch <= sq_ring[lsq_slot]:
+                    dispatch = sq_ring[lsq_slot] + 1
+            energy.bump("rob")
+            energy.bump("scheduler")
+
+            # ---------------- register/memory readiness ----------------
+            earliest = dispatch
+            for src in insn.srcs:
+                t = reg_ready.get(src, 0)
+                if t > earliest:
+                    earliest = t
+            energy.bump("prf_read", len(insn.srcs))
+
+            if insn.is_load:
+                dep = store_line_ready.get(insn.mem_addr >> _LINE_SHIFT, 0)
+                if dep > earliest:
+                    earliest = dep
+
+            # ---------------- issue ----------------
+            issue = fus.issue_at(insn.opclass, earliest, insn.base_latency)
+            energy.bump(fu_type_for(insn.opclass))
+
+            # ---------------- complete ----------------
+            complete = issue + insn.base_latency
+            if insn.is_mem:
+                energy.bump("lsq")
+                energy.bump("dcache")
+                if insn.is_load:
+                    loads += 1
+                    res = self.memory.load(insn.pc, insn.mem_addr, now=issue)
+                    stats.loads += 1
+                else:
+                    stores += 1
+                    res = self.memory.store(insn.pc, insn.mem_addr, now=issue)
+                    stats.stores += 1
+                if not res.l1_hit:
+                    stats.l1d_misses += 1
+                    if not res.l2_hit:
+                        stats.l2_misses += 1
+                    energy.bump("l2")
+                complete += res.latency - 1
+                if insn.is_store:
+                    store_line_ready[insn.mem_addr >> _LINE_SHIFT] = complete
+
+            if insn.dst is not None:
+                reg_ready[insn.dst] = complete
+                energy.bump("prf_write")
+
+            # ---------------- branches ----------------
+            if insn.is_branch:
+                stats.branches += 1
+                energy.bump("bpred")
+                wrong = self.predictor.access(insn.pc, insn.taken)
+                insn.mispredicted = wrong
+                if insn.taken:
+                    if self.btb.lookup(insn.pc) is None:
+                        fetch_cycle += p.btb_miss_bubble
+                        fetched_in_cycle = 0
+                        self.btb.install(insn.pc, insn.target)
+                if wrong:
+                    stats.mispredicts += 1
+                    redirect_at = complete + 1
+                elif insn.taken:
+                    # Taken branches end the fetch group.
+                    fetch_cycle += 1
+                    fetched_in_cycle = 0
+
+            # ---------------- commit ----------------
+            base = complete + 1
+            if base < last_commit:
+                base = last_commit
+            commit = commit_slots.earliest_free(base)
+            commit_slots.reserve(commit)
+            last_commit = commit
+            rob_ring[rob_slot] = commit
+            if lsq_slot >= 0:
+                if insn.is_load:
+                    lq_ring[lsq_slot] = commit
+                else:
+                    sq_ring[lsq_slot] = commit
+
+            # ---------------- trace recording ----------------
+            if recorder is not None:
+                trace_issues.append(issue)
+                if trace_first_issue < 0 or issue < trace_first_issue:
+                    trace_first_issue = issue
+                if complete > trace_last_complete:
+                    trace_last_complete = complete
+                done = trace_builder.feed(insn)
+                if done is not None:
+                    stats.traces += 1
+                    order = tuple(sorted(
+                        range(len(trace_issues)),
+                        key=lambda k: (trace_issues[k], k),
+                    ))
+                    if sc.lookup(done.start_pc, done.path_hash) is None:
+                        stats.sc_trace_misses += 1
+                    else:
+                        stats.sc_trace_hits += 1
+                        stats.memoized_instructions += len(done)
+                    recorder.observe(
+                        done, order,
+                        trace_last_complete - trace_first_issue,
+                    )
+                    energy.bump("sc_write")
+                    trace_issues.clear()
+                    trace_first_issue = -1
+                    trace_last_complete = 0
+
+            n += 1
+
+        stats.instructions = n
+        stats.cycles = max(1, last_commit - start_cycle)
+        return CoreResult(
+            core_name=self.params.name, stats=stats, energy_events=energy
+        )

@@ -1,0 +1,64 @@
+"""Core parameterization (paper Table 2)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True, slots=True)
+class CoreParams:
+    """Microarchitectural parameters for one core model."""
+
+    name: str
+    width: int = 3                 #: superscalar width (fetch/issue/commit)
+    pipeline_depth: int = 12       #: stages; sets the mispredict penalty
+    rob_size: int = 128            #: OoO window (ignored by InO)
+    lq_size: int = 32              #: load-queue entries (OoO)
+    sq_size: int = 32              #: store-queue entries (OoO)
+    mem_inflight: int = 8          #: in-flight memory ops (InO/OinO MSHRs)
+    int_regs: int = 128            #: physical integer register file
+    fp_regs: int = 256             #: physical floating-point register file
+    fetch_to_issue: int = 4        #: front-end stages before issue
+
+    #: Extra cycles from branch resolve to fetch restart on mispredict.
+    @property
+    def mispredict_penalty(self) -> int:
+        return self.pipeline_depth - 2
+
+    #: Bubble cycles when a taken branch misses in the BTB.
+    btb_miss_bubble: int = 2
+
+
+#: The producer OoO: deeply pipelined 3-wide with big windows.
+OOO_PARAMS = CoreParams(
+    name="OoO",
+    width=3,
+    pipeline_depth=12,
+    rob_size=128,
+    lq_size=32,
+    sq_size=32,
+    int_regs=128,
+    fp_regs=256,
+    fetch_to_issue=5,
+)
+
+#: The consumer InO: same width/FUs, shallower pipeline, no windows.
+INO_PARAMS = CoreParams(
+    name="InO",
+    width=3,
+    pipeline_depth=8,
+    rob_size=1,
+    mem_inflight=8,
+    int_regs=128,
+    fp_regs=128,
+    fetch_to_issue=3,
+)
+
+#: OinO-mode additions (paper section 3.3.2): every architectural
+#: register may map to up to 4 physical registers (128-entry PRF) and a
+#: 32-entry replay LSQ tracks memory order inside an atomic trace.
+OINO_PRF_MAPPINGS_PER_ARCH_REG = 4
+OINO_REPLAY_LSQ_ENTRIES = 32
+#: Squash + program-order restart penalty when a memoized trace
+#: misspeculates (cycles of pipeline refill before re-execution).
+OINO_ABORT_PENALTY = 12

@@ -1,0 +1,56 @@
+"""Experiment drivers: one module per paper table/figure.
+
+Each module exposes ``run(...) -> dict`` returning the figure's rows or
+series, plus a ``main()`` that prints them; ``python -m repro <name>``
+dispatches here.  The benchmark harness under ``benchmarks/`` calls the
+same ``run`` functions, so the printed tables and the recorded numbers
+always agree.
+"""
+
+from repro.experiments import (
+    multithreaded,
+    software_arbiter,
+    tier_validation,
+    fig1_core_characteristics,
+    fig2_memoization,
+    fig3_interval_tradeoff,
+    fig5_bzip2_timeline,
+    fig6_area,
+    fig7_throughput,
+    fig8_energy,
+    fig9_power,
+    fig10_case_study,
+    fig11_categories,
+    fig12_fair_share,
+    fig13_fairness,
+    fig14_area_neutral,
+    fig15_migration,
+    headline,
+    table1,
+)
+
+EXPERIMENTS = {
+    "table1": table1,
+    "fig1": fig1_core_characteristics,
+    "fig2": fig2_memoization,
+    "fig3": fig3_interval_tradeoff,
+    "fig5": fig5_bzip2_timeline,
+    "fig6": fig6_area,
+    "fig7": fig7_throughput,
+    "fig8": fig8_energy,
+    "fig9": fig9_power,
+    "fig10": fig10_case_study,
+    "fig11": fig11_categories,
+    "fig12": fig12_fair_share,
+    "fig13": fig13_fairness,
+    "fig14": fig14_area_neutral,
+    "fig15": fig15_migration,
+    "headline": headline,
+    # Extensions beyond the paper's figures (sections 3.2.4 and 6).
+    "software-arbiter": software_arbiter,
+    "multithreaded": multithreaded,
+    # Methodology: cross-check the two simulation tiers.
+    "tier-validation": tier_validation,
+}
+
+__all__ = ["EXPERIMENTS"]

@@ -1,0 +1,108 @@
+"""Shared plumbing for the experiment drivers."""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from repro.arbiter import (
+    Arbitrator,
+    FairArbitrator,
+    MaxSTPArbitrator,
+    SCMPKIArbitrator,
+    SCMPKIFairArbitrator,
+    SCMPKIMaxSTPArbitrator,
+)
+from repro.characterize import AppModel, analytic_model
+from repro.cmp import ClusterConfig, TimeScale, SIM_SCALE
+from repro.cmp.system import CMPResult, CMPSystem, run_homo
+from repro.workloads import standard_mixes
+from repro.workloads.mixes import WorkloadMix
+
+#: Arbitrator factories by display name (fresh instance per run: the
+#: fair arbitrators carry round-robin state).
+ARBITRATORS: dict[str, type] = {
+    "SC-MPKI": SCMPKIArbitrator,
+    "SC-MPKI+maxSTP": SCMPKIMaxSTPArbitrator,
+    "maxSTP": MaxSTPArbitrator,
+    "Fair": FairArbitrator,
+    "SC-MPKI-fair": SCMPKIFairArbitrator,
+}
+
+#: Which architectures each arbitrator runs on (paper section 5.2):
+#: maxSTP and Fair model traditional (no-memoization) Het-CMPs.
+TRADITIONAL = {"maxSTP", "Fair"}
+
+
+@lru_cache(maxsize=256)
+def app_model(name: str) -> AppModel:
+    return analytic_model(name)
+
+
+def models_for(mix: WorkloadMix) -> list[AppModel]:
+    return [app_model(name) for name in mix]
+
+
+def make_system(
+    mix: WorkloadMix,
+    arbitrator_name: str,
+    *,
+    n_producers: int = 1,
+    scale: TimeScale | None = None,
+    record_history: bool = False,
+) -> CMPSystem:
+    """Build a CMP for *mix* under the named arbitrator."""
+    mirage = arbitrator_name not in TRADITIONAL
+    config = ClusterConfig(
+        n_consumers=len(mix),
+        n_producers=n_producers,
+        mirage=mirage,
+        scale=scale or SIM_SCALE,
+    )
+    return CMPSystem(
+        config, models_for(mix), ARBITRATORS[arbitrator_name](),
+        record_history=record_history,
+    )
+
+
+def run_mix(mix: WorkloadMix, arbitrator_name: str, **kwargs) -> CMPResult:
+    return make_system(mix, arbitrator_name, **kwargs).run()
+
+
+def homo_baselines(
+    mix: WorkloadMix, *, scale: TimeScale | None = None
+) -> tuple[CMPResult, CMPResult]:
+    """(Homo-OoO, Homo-InO) baselines for *mix*."""
+    config = ClusterConfig(
+        n_consumers=len(mix), n_producers=1, scale=scale or SIM_SCALE)
+    models = models_for(mix)
+    return (
+        run_homo(models, kind="ooo", config=config),
+        run_homo(models, kind="ino", config=config),
+    )
+
+
+def mean(values) -> float:
+    values = list(values)
+    if not values:
+        return 0.0
+    return sum(values) / len(values)
+
+
+def format_table(headers: list[str], rows: list[list]) -> str:
+    """Plain-text table for the drivers' main() output."""
+    widths = [
+        max(len(str(h)), *(len(_fmt(r[i])) for r in rows)) if rows
+        else len(str(h))
+        for i, h in enumerate(headers)
+    ]
+    def line(cells):
+        return "  ".join(_fmt(c).rjust(w) for c, w in zip(cells, widths))
+    out = [line(headers), line(["-" * w for w in widths])]
+    out.extend(line(r) for r in rows)
+    return "\n".join(out)
+
+
+def _fmt(value) -> str:
+    if isinstance(value, float):
+        return f"{value:.3f}"
+    return str(value)

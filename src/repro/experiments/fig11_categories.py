@@ -1,0 +1,80 @@
+"""Figure 11: 8:1 benefits by benchmark category (HPD / LPD / Random).
+
+Interval-tier: 8-app mixes drawn exclusively from one category, or at
+random, run under every arbitrator; reports (a) STP relative to
+Homo-OoO, (b) OoO utilization, (c) energy relative to Homo-OoO.
+
+Paper shape: HPD mixes memoize well, so SC-MPKI engages the OoO hard
+(~80 % active) and gains the most over Homo-InO (~54 %); LPD mixes
+offer little scope (OoO ~27 % active, ~12 % speedup) but save the most
+energy; random mixes land in between and relieve HPD contention, so
+Mirage works best on heterogeneous mixes.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.common import (
+    format_table,
+    homo_baselines,
+    mean,
+    run_mix,
+)
+from repro.workloads import standard_mixes
+from repro.workloads.mixes import MIX_HPD, MIX_LPD, MIX_RANDOM
+
+ARBITRATOR_NAMES = ("SC-MPKI", "SC-MPKI+maxSTP", "maxSTP")
+CATEGORIES = (MIX_HPD, MIX_LPD, MIX_RANDOM)
+
+
+def run(*, n_apps: int = 8, mixes_per_category: int = 4,
+        seed: int = 2017) -> dict:
+    all_mixes = standard_mixes(
+        n_apps, seed=seed,
+        n_single_category=2 * mixes_per_category,
+        n_random=mixes_per_category,
+    )
+    out = {}
+    for category in CATEGORIES:
+        mixes = [m for m in all_mixes
+                 if m.category == category][:mixes_per_category]
+        stats = {
+            name: {"stp": [], "util": [], "energy": []}
+            for name in ARBITRATOR_NAMES
+        }
+        homo_ino_stp, homo_ino_energy = [], []
+        for mix in mixes:
+            homo_ooo, homo_ino = homo_baselines(mix)
+            base = max(1e-9, homo_ooo.energy_pj)
+            homo_ino_stp.append(homo_ino.stp)
+            homo_ino_energy.append(homo_ino.energy_pj / base)
+            for name in ARBITRATOR_NAMES:
+                res = run_mix(mix, name)
+                stats[name]["stp"].append(res.stp)
+                stats[name]["util"].append(res.ooo_active_fraction)
+                stats[name]["energy"].append(res.energy_pj / base)
+        out[category] = {
+            "Homo-InO": {
+                "stp": mean(homo_ino_stp),
+                "util": 0.0,
+                "energy": mean(homo_ino_energy),
+            },
+            **{
+                name: {k: mean(v) for k, v in vals.items()}
+                for name, vals in stats.items()
+            },
+        }
+    return out
+
+
+def main(quick: bool = False) -> None:
+    result = run(mixes_per_category=2 if quick else 4)
+    for metric, title in [("stp", "speedup vs Homo-OoO"),
+                          ("util", "OoO utilization"),
+                          ("energy", "energy vs Homo-OoO")]:
+        print(f"\nFigure 11 ({title}):")
+        arbs = ["Homo-InO", *ARBITRATOR_NAMES]
+        print(format_table(
+            ["category", *arbs],
+            [[cat, *(result[cat][a][metric] for a in arbs)]
+             for cat in CATEGORIES],
+        ))

@@ -1,0 +1,63 @@
+"""Figure 15: migration costs and frequency per workload mix.
+
+Interval-tier: every standard 8-app mix runs under SC-MPKI; the
+migration cost model splits each migration into SC transfer and L1
+warm-up (plus drain and bus contention), reported as a fraction of
+total execution cycles, alongside the migration frequency.
+
+Paper shape: overall transfer overhead is tiny (~0.15 % of execution);
+L1 refill dominates the per-migration cost; HPD mixes migrate more
+often (schedule production pays off), LPD mixes mostly stay on the
+InO cores.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.common import format_table, mean, run_mix
+from repro.workloads import standard_mixes
+
+
+def run(*, n_apps: int = 8, n_mixes: int = 12, seed: int = 2017) -> dict:
+    mixes = standard_mixes(n_apps, seed=seed)[:n_mixes]
+    rows = []
+    for mix in mixes:
+        res = run_mix(mix, "SC-MPKI")
+        total = max(1e-9, res.total_cycles * n_apps)
+        costs = res.migration_cost_cycles
+        rows.append({
+            "mix": mix.name,
+            "category": mix.category,
+            "sc_transfer_frac": costs.get("sc_transfer", 0.0) / total,
+            "l1_transfer_frac": (
+                costs.get("l1_warmup", 0.0) + costs.get("drain", 0.0)
+            ) / total,
+            "migration_frequency": res.migration_frequency,
+        })
+    overall = mean(
+        r["sc_transfer_frac"] + r["l1_transfer_frac"] for r in rows)
+    by_cat = {}
+    for cat in ("HPD", "LPD", "Random"):
+        cat_rows = [r for r in rows if r["category"] == cat]
+        if cat_rows:
+            by_cat[cat] = {
+                "migration_frequency": mean(
+                    r["migration_frequency"] for r in cat_rows),
+                "transfer_frac": mean(
+                    r["sc_transfer_frac"] + r["l1_transfer_frac"]
+                    for r in cat_rows),
+            }
+    return {"rows": rows, "overall_transfer_frac": overall,
+            "by_category": by_cat}
+
+
+def main(quick: bool = False) -> None:
+    result = run(n_mixes=4 if quick else 12)
+    print("Figure 15: migration cost per mix (fractions of exec cycles)")
+    print(format_table(
+        ["mix", "category", "SC transfer", "L1+drain", "mig/interval"],
+        [[r["mix"], r["category"], r["sc_transfer_frac"],
+          r["l1_transfer_frac"], r["migration_frequency"]]
+         for r in result["rows"]],
+    ))
+    print(f"\noverall transfer overhead: "
+          f"{result['overall_transfer_frac']:.3%}")

@@ -1,0 +1,91 @@
+"""Figure 3b: switching-interval trade-off.
+
+Two opposing curves over the memoize-phase interval length:
+
+* **Migration overhead**: switching an application between two cores
+  every ``n`` cycles costs (drain + L1 warm-up + SC transfer) per
+  switch — >10 % of performance at 1 k-cycle intervals, negligible
+  beyond ~1 M cycles (paper scale; everything here is in paper-scale
+  cycles for readability).
+* **Memoizability**: the fraction of instructions usefully memoized
+  with an infinite SC that the producer may only refresh once per
+  interval; longer intervals leave more stale schedules, so the
+  fraction falls.  Modelled per benchmark from its volatility and
+  phase structure, averaged over the suite.
+
+The paper picks 1 M cycles as the sweet spot where migration overhead
+has flattened but memoizability is still high.
+"""
+
+from __future__ import annotations
+
+from repro.characterize import analytic_model
+from repro.cmp import PAPER_SCALE
+from repro.experiments.common import format_table, mean
+from repro.workloads import ALL_BENCHMARKS
+
+#: Interval lengths swept, in paper-scale cycles.
+INTERVALS = (1_000, 10_000, 100_000, 1_000_000, 10_000_000)
+
+#: Per-switch migration cost at paper scale (drain + L1 + SC).
+SWITCH_COST_CYCLES = (
+    PAPER_SCALE.drain_cycles
+    + PAPER_SCALE.l1_warmup_cycles
+    + PAPER_SCALE.sc_transfer_cycles
+)
+
+#: Interval the per-interval volatility constants are defined against.
+VOLATILITY_BASE_INTERVAL = PAPER_SCALE.interval_cycles
+
+
+def migration_overhead(interval_cycles: int) -> float:
+    """Fractional performance lost to one switch per interval."""
+    return SWITCH_COST_CYCLES / (SWITCH_COST_CYCLES + interval_cycles)
+
+
+def memoizable_fraction(interval_cycles: int,
+                        benchmarks=ALL_BENCHMARKS) -> float:
+    """Suite-mean usefully-memoized fraction at a refresh interval.
+
+    Between refreshes, coverage of each phase's schedules decays with
+    the benchmark's volatility; the average coverage over the interval
+    is what the consumer actually enjoys.
+    """
+    fractions = []
+    for name in benchmarks:
+        model = analytic_model(name)
+        per_phase = []
+        for phase in model.phases:
+            steps = max(1, interval_cycles // VOLATILITY_BASE_INTERVAL)
+            keep = 1.0 - phase.volatility
+            if keep >= 1.0:
+                avg_cov = 1.0
+            else:
+                # Mean of keep^0..keep^(steps-1).
+                avg_cov = (1 - keep ** steps) / (steps * (1 - keep))
+            per_phase.append(phase.memoizable * avg_cov * phase.weight)
+        fractions.append(sum(per_phase))
+    return mean(fractions)
+
+
+def run(*, intervals=INTERVALS) -> dict:
+    rows = []
+    for n in intervals:
+        rows.append({
+            "interval_cycles": n,
+            "perf_vs_no_switching": 1.0 - migration_overhead(n),
+            "memoizable_fraction": memoizable_fraction(n),
+        })
+    return {"rows": rows, "chosen_interval": PAPER_SCALE.interval_cycles}
+
+
+def main(quick: bool = False) -> None:
+    result = run()
+    print("Figure 3b: interval-length trade-off (paper-scale cycles)")
+    print(format_table(
+        ["interval", "perf vs no-switch", "memoizable fraction"],
+        [[r["interval_cycles"], r["perf_vs_no_switching"],
+          r["memoizable_fraction"]] for r in result["rows"]],
+    ))
+    print(f"\nchosen memoize-phase interval: "
+          f"{result['chosen_interval']:,} cycles")

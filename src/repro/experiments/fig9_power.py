@@ -1,0 +1,114 @@
+"""Figure 9: (a) per-structure power breakdown, (b) OoO utilization.
+
+(a) Detailed-tier: run a representative benchmark set on all three
+core models and report each structure's contribution to overall
+power.  Paper shape: the OoO's scheduler/ROB/rename dominate its
+budget; OinO additions (expanded PRF, replay LSQ, SC) raise InO
+dynamic power ~2.4x while staying well under the OoO (which burns
+~2.1x OinO); OinO fetches from the small SC, cutting I-cache and
+branch-prediction power.
+
+(b) Interval-tier: fraction of cycles the producer OoO is active per
+arbitrator and cluster size.  Paper shape: SC-MPKI gates the OoO
+(~60 % active at 8:1, saturating at 100 % by 12:1); the
+throughput-oriented arbitrators keep it always on.
+"""
+
+from __future__ import annotations
+
+from repro.cores import InOrderCore, OinOCore, OutOfOrderCore
+from repro.energy import CoreEnergyModel
+from repro.experiments.common import format_table, mean, run_mix
+from repro.memory import MemoryHierarchy
+from repro.schedule import ScheduleCache, ScheduleRecorder
+from repro.workloads import make_benchmark, standard_mixes
+
+#: Representative benchmarks for the power breakdown.
+BREAKDOWN_BENCHMARKS = ("hmmer", "bzip2", "libquantum", "gobmk")
+N_VALUES = (4, 8, 12, 16)
+ARBITRATOR_NAMES = ("SC-MPKI", "SC-MPKI+maxSTP", "maxSTP")
+
+
+def power_breakdown(*, instructions: int = 30_000, seed: int = 1) -> dict:
+    """Per-structure fraction of overall power for OoO, InO, OinO."""
+    em = CoreEnergyModel()
+    totals = {"ooo": {}, "ino": {}, "oino": {}}
+    power = {"ooo": 0.0, "ino": 0.0, "oino": 0.0}
+    for name in BREAKDOWN_BENCHMARKS:
+        bench = make_benchmark(name, seed=seed)
+        sc = ScheduleCache(None)
+        rec = ScheduleRecorder(sc)
+        runs = {
+            "ooo": OutOfOrderCore(
+                MemoryHierarchy().core_view(0), recorder=rec
+            ).run(bench.stream(), instructions),
+            "ino": InOrderCore(MemoryHierarchy().core_view(1)).run(
+                bench.stream(), instructions),
+            "oino": OinOCore(MemoryHierarchy().core_view(2), sc).run(
+                bench.stream(), instructions),
+        }
+        for kind, result in runs.items():
+            bd = em.breakdown(kind, result.energy_events, result.cycles)
+            for structure, pj in bd.dynamic_pj.items():
+                totals[kind][structure] = (
+                    totals[kind].get(structure, 0.0)
+                    + pj / result.cycles)
+            totals[kind]["leakage"] = (
+                totals[kind].get("leakage", 0.0)
+                + bd.leakage_pj / result.cycles)
+            power[kind] += bd.power_pw_per_cycle(result.cycles)
+    fractions = {
+        kind: {s: v / max(1e-9, sum(parts.values()))
+               for s, v in parts.items()}
+        for kind, parts in totals.items()
+    }
+    n = len(BREAKDOWN_BENCHMARKS)
+    return {
+        "fractions": fractions,
+        "avg_power": {k: v / n for k, v in power.items()},
+    }
+
+
+def ooo_utilization(*, n_values=N_VALUES, n_mixes: int = 6,
+                    seed: int = 2017) -> list[dict]:
+    rows = []
+    for n in n_values:
+        mixes = standard_mixes(n, seed=seed)[:n_mixes]
+        active = {name: [] for name in ARBITRATOR_NAMES}
+        for mix in mixes:
+            for name in ARBITRATOR_NAMES:
+                active[name].append(
+                    run_mix(mix, name).ooo_active_fraction)
+        rows.append({"n": n,
+                     "active": {k: mean(v) for k, v in active.items()}})
+    return rows
+
+
+def run(*, instructions: int = 30_000, n_mixes: int = 6) -> dict:
+    return {
+        "breakdown": power_breakdown(instructions=instructions),
+        "utilization": ooo_utilization(n_mixes=n_mixes),
+    }
+
+
+def main(quick: bool = False) -> None:
+    result = run(instructions=10_000 if quick else 30_000,
+                 n_mixes=2 if quick else 6)
+    bd = result["breakdown"]
+    print("Figure 9a: average power (pJ/cycle) per core kind")
+    print(format_table(
+        ["kind", "power", "vs InO"],
+        [[k, v, v / max(1e-9, bd["avg_power"]["ino"])]
+         for k, v in bd["avg_power"].items()],
+    ))
+    print("\ntop power structures per core kind:")
+    for kind, parts in bd["fractions"].items():
+        top = sorted(parts.items(), key=lambda kv: -kv[1])[:5]
+        desc = ", ".join(f"{s} {f:.0%}" for s, f in top)
+        print(f"  {kind:<5} {desc}")
+    print("\nFigure 9b: fraction of cycles the OoO is active")
+    print(format_table(
+        ["n", *ARBITRATOR_NAMES],
+        [[r["n"], *(r["active"][a] for a in ARBITRATOR_NAMES)]
+         for r in result["utilization"]],
+    ))

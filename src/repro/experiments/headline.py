@@ -1,0 +1,68 @@
+"""Headline claims: the abstract's 8:1 numbers in one run.
+
+* ~84 % of the performance of a homogeneous 8-OoO CMP,
+* a ~28 % increase relative to a traditional Het-CMP runtime (maxSTP),
+* ~55 % energy saving and ~25 % area saving,
+* scaling limit around 12 consumers per producer (OoO saturates).
+"""
+
+from __future__ import annotations
+
+from repro.energy import cmp_area
+from repro.energy.model import AREA_UNITS
+from repro.experiments.common import (
+    format_table,
+    homo_baselines,
+    mean,
+    run_mix,
+)
+from repro.workloads import standard_mixes
+
+
+def run(*, n_mixes: int = 10, seed: int = 2017) -> dict:
+    mixes = standard_mixes(8, seed=seed)[:n_mixes]
+    stp_mirage, stp_trad, energy_rel, util = [], [], [], []
+    for mix in mixes:
+        homo_ooo, _ = homo_baselines(mix)
+        res = run_mix(mix, "SC-MPKI")
+        trad = run_mix(mix, "maxSTP")
+        stp_mirage.append(res.stp)
+        stp_trad.append(trad.stp)
+        energy_rel.append(res.energy_pj / max(1e-9, homo_ooo.energy_pj))
+        util.append(res.ooo_active_fraction)
+    # Scaling limit: OoO utilization at 12:1 and 16:1.
+    util_by_n = {}
+    for n in (8, 12, 16):
+        n_mix = standard_mixes(n, seed=seed)[:max(2, n_mixes // 3)]
+        util_by_n[n] = mean(
+            run_mix(m, "SC-MPKI").ooo_active_fraction for m in n_mix)
+    return {
+        "performance_vs_homo_ooo": mean(stp_mirage),
+        "gain_vs_traditional": mean(stp_mirage) / max(1e-9,
+                                                      mean(stp_trad)) - 1,
+        "energy_vs_homo_ooo": mean(energy_rel),
+        "area_vs_homo_ooo": cmp_area(8, 1, mirage=True) / (
+            8 * AREA_UNITS["ooo"]),
+        "ooo_gated_fraction": 1 - mean(util),
+        "ooo_utilization_by_n": util_by_n,
+    }
+
+
+def main(quick: bool = False) -> None:
+    r = run(n_mixes=4 if quick else 10)
+    print("Headline (8 InO : 1 OoO, SC-MPKI arbitrator)")
+    print(format_table(["claim", "paper", "measured"], [
+        ["performance vs 8-OoO Homo-CMP", "84%",
+         f"{r['performance_vs_homo_ooo']:.0%}"],
+        ["gain vs traditional Het-CMP", "+28%",
+         f"{r['gain_vs_traditional']:+.0%}"],
+        ["energy vs 8-OoO Homo-CMP", "45%",
+         f"{r['energy_vs_homo_ooo']:.0%}"],
+        ["area vs 8-OoO Homo-CMP", "74%",
+         f"{r['area_vs_homo_ooo']:.0%}"],
+        ["OoO power-gated time", "40%",
+         f"{r['ooo_gated_fraction']:.0%}"],
+    ]))
+    print("\nOoO utilization by cluster size (saturation ~12:1):")
+    for n, u in r["ooo_utilization_by_n"].items():
+        print(f"  {n}:1 -> {u:.0%}")

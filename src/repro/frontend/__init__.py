@@ -1,0 +1,23 @@
+"""Frontend models: branch prediction and the branch target buffer.
+
+Branch behaviour drives two things the paper cares about: the OoO/InO
+performance gap for control-bound (LPD) benchmarks, and trace
+misspeculation rates in OinO mode (mispredicted traces abort and replay
+in program order).
+"""
+
+from repro.frontend.branch_predictor import (
+    BimodalPredictor,
+    BranchPredictor,
+    GSharePredictor,
+    TournamentPredictor,
+)
+from repro.frontend.btb import BranchTargetBuffer
+
+__all__ = [
+    "BranchPredictor",
+    "BimodalPredictor",
+    "GSharePredictor",
+    "TournamentPredictor",
+    "BranchTargetBuffer",
+]

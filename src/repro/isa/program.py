@@ -1,0 +1,121 @@
+"""Static program shapes: basic blocks and lazy instruction streams.
+
+Workload generators build programs out of :class:`BasicBlock` templates
+(loop bodies, straight-line regions) and then instantiate them lazily as
+an :class:`InstructionStream` — an iterator of dynamic
+:class:`~repro.isa.instructions.Instruction` objects with concrete
+sequence numbers, addresses and branch outcomes.  Streams are the only
+interface the cores consume, so a program of any dynamic length costs
+O(1) memory.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator
+from dataclasses import dataclass, field
+
+from repro.isa.instructions import Instruction, OpClass
+
+
+@dataclass(slots=True)
+class BlockInstr:
+    """Static instruction template within a basic block.
+
+    ``mem_stream`` names which generated address stream feeds this
+    instruction's effective addresses (resolved by the workload layer).
+    """
+
+    opclass: OpClass
+    dst: int | None = None
+    srcs: tuple[int, ...] = ()
+    mem_stream: int | None = None
+
+
+@dataclass(slots=True)
+class BasicBlock:
+    """A static basic block: straight-line instructions plus a terminator.
+
+    The terminating branch is implicit: when ``loop_back`` is true the
+    block ends with a backward branch to ``start_pc`` (taken while the
+    enclosing loop continues), which is what delimits traces.
+    """
+
+    start_pc: int
+    instrs: list[BlockInstr] = field(default_factory=list)
+    loop_back: bool = False
+
+    @property
+    def size(self) -> int:
+        """Number of instructions including the terminator branch."""
+        return len(self.instrs) + (1 if self.loop_back else 0)
+
+    @property
+    def end_pc(self) -> int:
+        return self.start_pc + 4 * self.size
+
+
+class InstructionStream:
+    """Iterator adapter that tracks the dynamic sequence number.
+
+    Wraps any iterable of instruction *factories* (callables that accept
+    the next sequence number and return an Instruction) or plain
+    instructions; mostly used by tests and the workload generator's
+    internals.
+    """
+
+    def __init__(self, source: Iterable[Instruction]):
+        self._source = iter(source)
+        self.emitted = 0
+
+    def __iter__(self) -> Iterator[Instruction]:
+        return self
+
+    def __next__(self) -> Instruction:
+        insn = next(self._source)
+        self.emitted += 1
+        return insn
+
+
+def iter_block(
+    block: BasicBlock,
+    seq_start: int,
+    *,
+    addr_of: "callable | None" = None,
+    taken: bool = True,
+) -> Iterator[Instruction]:
+    """Instantiate one dynamic execution of *block*.
+
+    Args:
+        block: the static block template.
+        seq_start: sequence number for the first emitted instruction.
+        addr_of: callback ``(mem_stream_id) -> int`` resolving effective
+            addresses; required if the block contains memory ops.
+        taken: outcome of the terminating backward branch, when present.
+    """
+    seq = seq_start
+    pc = block.start_pc
+    for tmpl in block.instrs:
+        mem_addr = None
+        if tmpl.mem_stream is not None:
+            if addr_of is None:
+                raise ValueError("block has memory ops but no addr_of given")
+            mem_addr = addr_of(tmpl.mem_stream)
+        yield Instruction(
+            seq=seq,
+            pc=pc,
+            opclass=tmpl.opclass,
+            dst=tmpl.dst,
+            srcs=tmpl.srcs,
+            mem_addr=mem_addr,
+        )
+        seq += 1
+        pc += 4
+    if block.loop_back:
+        yield Instruction(
+            seq=seq,
+            pc=pc,
+            opclass=OpClass.BRANCH,
+            is_branch=True,
+            taken=taken,
+            target=block.start_pc,
+        )

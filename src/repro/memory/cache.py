@@ -1,0 +1,151 @@
+"""Set-associative cache with true-LRU replacement.
+
+The model is access-accurate rather than port-accurate: each access
+classifies as hit or miss and the caller charges the corresponding
+latency.  Dirty-line writebacks are surfaced so the bus model can
+account for their traffic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True, slots=True)
+class CacheConfig:
+    """Geometry and timing of one cache."""
+
+    size_bytes: int
+    assoc: int
+    line_bytes: int = 64
+    hit_latency: int = 2
+
+    def __post_init__(self) -> None:
+        if self.size_bytes % (self.assoc * self.line_bytes):
+            raise ValueError("size must be a multiple of assoc * line size")
+        sets = self.num_sets
+        if sets & (sets - 1):
+            raise ValueError("number of sets must be a power of two")
+
+    @property
+    def num_sets(self) -> int:
+        return self.size_bytes // (self.assoc * self.line_bytes)
+
+
+@dataclass(slots=True)
+class CacheStats:
+    accesses: int = 0
+    misses: int = 0
+    writebacks: int = 0
+
+    @property
+    def hits(self) -> int:
+        return self.accesses - self.misses
+
+    @property
+    def miss_rate(self) -> float:
+        if self.accesses == 0:
+            return 0.0
+        return self.misses / self.accesses
+
+    def mpki(self, instructions: int) -> float:
+        """Misses per kilo-instruction over *instructions* committed."""
+        if instructions == 0:
+            return 0.0
+        return 1000.0 * self.misses / instructions
+
+    def reset(self) -> None:
+        self.accesses = 0
+        self.misses = 0
+        self.writebacks = 0
+
+
+@dataclass(slots=True)
+class _Line:
+    tag: int
+    dirty: bool = False
+    last_use: int = 0
+
+
+class Cache:
+    """Set-associative, write-back, write-allocate cache."""
+
+    def __init__(self, config: CacheConfig, name: str = "cache"):
+        self.config = config
+        self.name = name
+        self.stats = CacheStats()
+        self._sets: list[dict[int, _Line]] = [
+            {} for _ in range(config.num_sets)
+        ]
+        self._clock = 0
+        self._set_shift = (config.line_bytes - 1).bit_length()
+        self._set_mask = config.num_sets - 1
+
+    def _locate(self, addr: int) -> tuple[int, int]:
+        block = addr >> self._set_shift
+        return block & self._set_mask, block
+
+    def access(self, addr: int, *, write: bool = False) -> bool:
+        """Access *addr*; returns True on hit.
+
+        On a miss the line is allocated (write-allocate); a dirty
+        eviction increments ``stats.writebacks``.
+        """
+        self._clock += 1
+        self.stats.accesses += 1
+        set_idx, tag = self._locate(addr)
+        lines = self._sets[set_idx]
+        line = lines.get(tag)
+        if line is not None:
+            line.last_use = self._clock
+            if write:
+                line.dirty = True
+            return True
+        self.stats.misses += 1
+        self._fill(lines, tag, write)
+        return False
+
+    def probe(self, addr: int) -> bool:
+        """Check residency without updating state or stats."""
+        set_idx, tag = self._locate(addr)
+        return tag in self._sets[set_idx]
+
+    def fill(self, addr: int) -> None:
+        """Install a line without counting an access (prefetch fill)."""
+        self._clock += 1
+        set_idx, tag = self._locate(addr)
+        lines = self._sets[set_idx]
+        if tag in lines:
+            return
+        self._fill(lines, tag, write=False)
+
+    def _fill(self, lines: dict[int, _Line], tag: int, write: bool) -> None:
+        if len(lines) >= self.config.assoc:
+            victim_tag = min(lines, key=lambda t: lines[t].last_use)
+            victim = lines.pop(victim_tag)
+            if victim.dirty:
+                self.stats.writebacks += 1
+        lines[tag] = _Line(tag=tag, dirty=write, last_use=self._clock)
+
+    def invalidate(self, addr: int) -> bool:
+        """Drop the line holding *addr* if present; True if it was dirty."""
+        set_idx, tag = self._locate(addr)
+        line = self._sets[set_idx].pop(tag, None)
+        return bool(line and line.dirty)
+
+    def flush(self) -> int:
+        """Empty the cache; return the number of dirty lines written back."""
+        dirty = 0
+        for lines in self._sets:
+            dirty += sum(1 for line in lines.values() if line.dirty)
+            lines.clear()
+        self.stats.writebacks += dirty
+        return dirty
+
+    @property
+    def resident_lines(self) -> int:
+        return sum(len(lines) for lines in self._sets)
+
+    @property
+    def capacity_lines(self) -> int:
+        return self.config.num_sets * self.config.assoc

@@ -1,0 +1,97 @@
+"""MESI-lite coherence directory for the shared L2.
+
+The evaluated workloads are multi-programmed (no data sharing), so
+coherence activity in the paper's system comes from migration: after an
+application moves cores, its lines are resident in the old core's L1
+and must be invalidated/fetched across the bus.  The directory tracks,
+per line, which core holds it and in what state, and yields the
+invalidation traffic migration produces.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class CoherenceState(enum.Enum):
+    MODIFIED = "M"
+    EXCLUSIVE = "E"
+    SHARED = "S"
+    INVALID = "I"
+
+
+@dataclass(slots=True)
+class _DirEntry:
+    holders: set[int]
+    state: CoherenceState
+
+
+class CoherenceDirectory:
+    """Directory keyed by line address (already line-aligned)."""
+
+    def __init__(self, line_bytes: int = 64):
+        self.line_bytes = line_bytes
+        self._entries: dict[int, _DirEntry] = {}
+        self.invalidations = 0
+        self.interventions = 0
+
+    def _line(self, addr: int) -> int:
+        return addr // self.line_bytes
+
+    def on_read(self, core_id: int, addr: int) -> int:
+        """Record a read; return the number of remote interventions."""
+        line = self._line(addr)
+        entry = self._entries.get(line)
+        if entry is None:
+            self._entries[line] = _DirEntry({core_id}, CoherenceState.EXCLUSIVE)
+            return 0
+        interventions = 0
+        if entry.state is CoherenceState.MODIFIED and core_id not in entry.holders:
+            interventions = 1  # dirty line supplied by the remote owner
+            self.interventions += 1
+        entry.holders.add(core_id)
+        if len(entry.holders) > 1:
+            entry.state = CoherenceState.SHARED
+        return interventions
+
+    def on_write(self, core_id: int, addr: int) -> int:
+        """Record a write; return the number of invalidations sent."""
+        line = self._line(addr)
+        entry = self._entries.get(line)
+        if entry is None:
+            self._entries[line] = _DirEntry({core_id}, CoherenceState.MODIFIED)
+            return 0
+        victims = entry.holders - {core_id}
+        self.invalidations += len(victims)
+        entry.holders = {core_id}
+        entry.state = CoherenceState.MODIFIED
+        return len(victims)
+
+    def evict(self, core_id: int, addr: int) -> None:
+        line = self._line(addr)
+        entry = self._entries.get(line)
+        if entry is None:
+            return
+        entry.holders.discard(core_id)
+        if not entry.holders:
+            del self._entries[line]
+
+    def flush_core(self, core_id: int) -> int:
+        """Remove *core_id* from every entry (migration); return count."""
+        dropped = 0
+        dead: list[int] = []
+        for line, entry in self._entries.items():
+            if core_id in entry.holders:
+                entry.holders.discard(core_id)
+                dropped += 1
+                if not entry.holders:
+                    dead.append(line)
+        for line in dead:
+            del self._entries[line]
+        self.invalidations += dropped
+        return dropped
+
+    @property
+    def tracked_lines(self) -> int:
+        return len(self._entries)

@@ -1,0 +1,17 @@
+"""System-level metrics used by the arbitrators and experiments."""
+
+from repro.metrics.stats import (
+    delta_sc_mpki,
+    fairness_index,
+    speedup,
+    system_throughput,
+    util_share,
+)
+
+__all__ = [
+    "speedup",
+    "system_throughput",
+    "delta_sc_mpki",
+    "util_share",
+    "fairness_index",
+]

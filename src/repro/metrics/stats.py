@@ -1,0 +1,64 @@
+"""Scheduling metrics (paper section 3.2).
+
+* ``speedup`` — Equation 2: IPC achieved relative to the application's
+  (last-observed) OoO IPC.
+* ``system_throughput`` — STP, the mean of all applications' speedups.
+* ``delta_sc_mpki`` — Equation 1: the energy-oriented arbitrator's
+  memoization-staleness signal.
+* ``util_share`` — Equation 3: the fairness arbitrator's effective
+  OoO timeshare, counting memoized InO execution as OoO time.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+
+def speedup(ipc_current: float, ipc_ooo: float) -> float:
+    """Equation 2: current IPC over the IPC last observed on the OoO."""
+    if ipc_ooo <= 0:
+        return 1.0
+    return ipc_current / ipc_ooo
+
+
+def system_throughput(speedups: Sequence[float]) -> float:
+    """STP: mean of per-application speedups."""
+    if not speedups:
+        return 0.0
+    return sum(speedups) / len(speedups)
+
+
+def delta_sc_mpki(sc_mpki_ino: float, sc_mpki_ooo: float,
+                  *, floor: float = 0.1) -> float:
+    """Equation 1: (SC-MPKI_InO - SC-MPKI_OoO) / SC-MPKI_OoO.
+
+    ``floor`` guards the division for highly-memoizable phases whose
+    producer-side SC-MPKI approaches zero.
+    """
+    denom = max(sc_mpki_ooo, floor)
+    return (sc_mpki_ino - sc_mpki_ooo) / denom
+
+
+def util_share(t_ooo: float, t_ino_memoized: float, app_speedup: float,
+               t_overall: float) -> float:
+    """Equation 3: effective OoO timeshare of one application.
+
+    Time spent executing memoized schedules on the InO counts toward
+    OoO time, scaled by the speedup it achieves.
+    """
+    if t_overall <= 0:
+        return 0.0
+    return (t_ooo + t_ino_memoized * app_speedup) / t_overall
+
+
+def fairness_index(shares: Sequence[float]) -> float:
+    """Jain's fairness index over per-application OoO shares (0..1]."""
+    if not shares:
+        return 1.0
+    total = sum(shares)
+    sq = sum(s * s for s in shares)
+    if total == 0 or sq == 0:
+        # All-zero shares, or values so small that squaring
+        # underflows: treat as perfectly fair.
+        return 1.0
+    return min(1.0, (total * total) / (len(shares) * sq))

@@ -1,0 +1,26 @@
+"""Schedule memoization: traces, recording, and the Schedule Cache.
+
+A *trace* is the dynamic instruction sequence between two consecutive
+backward branches (paper section 3.3) — ~50 instructions capturing hot
+loop bodies.  While an application runs on the OoO core, the
+:class:`~repro.schedule.recorder.ScheduleRecorder` watches each trace's
+issue order; traces whose schedules repeat with high confidence are
+written into the :class:`~repro.schedule.schedule_cache.ScheduleCache`
+(8 KB, trace-cache organization).  An InO core in OinO mode later
+replays those recorded issue orders to recover most of the OoO's
+performance.
+"""
+
+from repro.schedule.recorder import RecorderTables, ScheduleRecorder
+from repro.schedule.schedule_cache import Schedule, ScheduleCache, SCStats
+from repro.schedule.trace import Trace, TraceBuilder
+
+__all__ = [
+    "Trace",
+    "TraceBuilder",
+    "Schedule",
+    "ScheduleCache",
+    "SCStats",
+    "ScheduleRecorder",
+    "RecorderTables",
+]

@@ -1,0 +1,35 @@
+"""Synthetic SPEC CPU2006-like workload suite.
+
+The paper evaluates on 26 named SPEC 2006 benchmarks (Table 1) compiled
+for ARM, with SimPoint-selected 1 B-instruction windows.  Neither the
+binaries nor traces are available here, so each benchmark is replaced
+by a deterministic synthetic program whose generator parameters are
+calibrated to the behaviours the paper describes: its HPD/LPD category
+(InO:OoO IPC ratio split at 60 %), its memoizability, its phase
+structure and its schedule volatility.  See DESIGN.md section 2 for the
+substitution argument.
+"""
+
+from repro.workloads.generator import SyntheticBenchmark, make_benchmark
+from repro.workloads.mixes import WorkloadMix, standard_mixes
+from repro.workloads.profiles import (
+    ALL_BENCHMARKS,
+    HPD_BENCHMARKS,
+    LPD_BENCHMARKS,
+    SPEC_PROFILES,
+    BenchmarkProfile,
+    get_profile,
+)
+
+__all__ = [
+    "BenchmarkProfile",
+    "SPEC_PROFILES",
+    "ALL_BENCHMARKS",
+    "HPD_BENCHMARKS",
+    "LPD_BENCHMARKS",
+    "get_profile",
+    "SyntheticBenchmark",
+    "make_benchmark",
+    "WorkloadMix",
+    "standard_mixes",
+]

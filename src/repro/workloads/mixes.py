@@ -1,0 +1,93 @@
+"""Multi-application workload mixes (paper section 4.1).
+
+The paper evaluates 32 mixes per configuration, each containing as many
+applications as there are InO cores: 10 mixes drawn exclusively from a
+single category (HPD-only or LPD-only) and 22 mixing both at random.
+``standard_mixes`` reproduces that split deterministically.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.workloads.profiles import (
+    ALL_BENCHMARKS,
+    HPD_BENCHMARKS,
+    LPD_BENCHMARKS,
+)
+
+#: Mix-category labels used throughout the experiments.
+MIX_HPD = "HPD"
+MIX_LPD = "LPD"
+MIX_RANDOM = "Random"
+
+
+@dataclass(frozen=True, slots=True)
+class WorkloadMix:
+    """A named set of benchmarks run together on one CMP."""
+
+    name: str
+    category: str
+    benchmarks: tuple[str, ...]
+
+    def __post_init__(self) -> None:
+        if self.category not in (MIX_HPD, MIX_LPD, MIX_RANDOM):
+            raise ValueError(f"bad mix category {self.category!r}")
+        if not self.benchmarks:
+            raise ValueError("empty mix")
+
+    def __len__(self) -> int:
+        return len(self.benchmarks)
+
+    def __iter__(self):
+        return iter(self.benchmarks)
+
+
+def _sample(pool: tuple[str, ...], k: int, rng: random.Random) -> tuple[str, ...]:
+    """Sample *k* benchmarks, reusing the pool when k exceeds its size."""
+    picks: list[str] = []
+    while len(picks) < k:
+        take = min(k - len(picks), len(pool))
+        picks.extend(rng.sample(pool, take))
+    return tuple(picks)
+
+
+def standard_mixes(
+    apps_per_mix: int,
+    *,
+    seed: int = 2017,
+    n_single_category: int = 10,
+    n_random: int = 22,
+) -> list[WorkloadMix]:
+    """Build the paper's 32-mix workload set for a given cluster size.
+
+    Args:
+        apps_per_mix: number of applications per mix (= number of InO
+            cores in the configuration under study).
+        seed: mix-selection seed.
+        n_single_category: total single-category mixes, split evenly
+            between HPD-only and LPD-only.
+        n_random: mixed-category mixes.
+    """
+    if apps_per_mix < 1:
+        raise ValueError("apps_per_mix must be >= 1")
+    rng = random.Random(seed)
+    mixes: list[WorkloadMix] = []
+    half = n_single_category // 2
+    for i in range(half):
+        mixes.append(WorkloadMix(
+            name=f"hpd{i}", category=MIX_HPD,
+            benchmarks=_sample(HPD_BENCHMARKS, apps_per_mix, rng),
+        ))
+    for i in range(n_single_category - half):
+        mixes.append(WorkloadMix(
+            name=f"lpd{i}", category=MIX_LPD,
+            benchmarks=_sample(LPD_BENCHMARKS, apps_per_mix, rng),
+        ))
+    for i in range(n_random):
+        mixes.append(WorkloadMix(
+            name=f"rnd{i}", category=MIX_RANDOM,
+            benchmarks=_sample(ALL_BENCHMARKS, apps_per_mix, rng),
+        ))
+    return mixes

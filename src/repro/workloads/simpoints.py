@@ -1,0 +1,142 @@
+"""SimPoint-style phase analysis (paper section 4.1 methodology).
+
+The paper analyses the first 5 B instructions of each benchmark with
+SimPoint and simulates the highest-weighted window.  This module
+implements the same pipeline over our synthetic streams:
+
+1. slice the dynamic stream into fixed-size windows;
+2. build a **basic-block vector** (BBV) per window — how many
+   instructions each static basic block (identified by its start pc)
+   contributed;
+3. cluster the normalized BBVs with k-means (random restarts,
+   deterministic seeding);
+4. pick each cluster's most representative window (closest to its
+   centroid) and weight it by cluster population.
+
+``pick_simpoint`` returns the paper's choice: the representative of
+the heaviest cluster.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.isa.instructions import Instruction
+
+
+@dataclass(frozen=True)
+class SimPoint:
+    """One representative window."""
+
+    window_index: int       #: index of the representative window
+    start_instruction: int  #: first dynamic instruction of that window
+    weight: float           #: fraction of windows in its cluster
+    cluster: int
+
+
+def basic_block_vectors(
+    stream: Iterable[Instruction],
+    *,
+    window_size: int = 10_000,
+    max_windows: int = 100,
+) -> tuple[np.ndarray, list[int]]:
+    """Collect per-window basic-block vectors.
+
+    Returns ``(matrix, block_pcs)`` where ``matrix[w, b]`` counts the
+    instructions window *w* executed in the basic block starting at
+    ``block_pcs[b]``.  Basic blocks are delimited dynamically: a new
+    block starts after every control transfer.
+    """
+    pc_index: dict[int, int] = {}
+    rows: list[dict[int, int]] = []
+    current: dict[int, int] = {}
+    block_start: int | None = None
+    in_window = 0
+    windows = 0
+    for insn in stream:
+        if windows >= max_windows:
+            break
+        if block_start is None:
+            block_start = insn.pc
+        idx = pc_index.setdefault(block_start, len(pc_index))
+        current[idx] = current.get(idx, 0) + 1
+        if insn.is_branch and insn.taken:
+            block_start = None
+        in_window += 1
+        if in_window == window_size:
+            rows.append(current)
+            current = {}
+            in_window = 0
+            windows += 1
+    matrix = np.zeros((len(rows), len(pc_index)))
+    for w, row in enumerate(rows):
+        for b, count in row.items():
+            matrix[w, b] = count
+    block_pcs = [pc for pc, _ in sorted(pc_index.items(),
+                                        key=lambda kv: kv[1])]
+    return matrix, block_pcs
+
+
+def _kmeans(data: np.ndarray, k: int, *, seed: int,
+            iterations: int = 30) -> np.ndarray:
+    """Plain k-means; returns per-row cluster labels."""
+    rng = np.random.default_rng(seed)
+    n = data.shape[0]
+    centroids = data[rng.choice(n, size=min(k, n), replace=False)]
+    labels = np.zeros(n, dtype=int)
+    for _ in range(iterations):
+        dists = np.linalg.norm(
+            data[:, None, :] - centroids[None, :, :], axis=2)
+        new_labels = dists.argmin(axis=1)
+        if (new_labels == labels).all():
+            break
+        labels = new_labels
+        for c in range(centroids.shape[0]):
+            members = data[labels == c]
+            if len(members):
+                centroids[c] = members.mean(axis=0)
+    return labels
+
+
+def find_simpoints(
+    stream: Iterable[Instruction],
+    *,
+    window_size: int = 10_000,
+    max_windows: int = 60,
+    k: int = 4,
+    seed: int = 0,
+) -> list[SimPoint]:
+    """Cluster windows and return one representative per cluster."""
+    matrix, _pcs = basic_block_vectors(
+        stream, window_size=window_size, max_windows=max_windows)
+    if matrix.shape[0] == 0:
+        return []
+    norms = np.linalg.norm(matrix, axis=1, keepdims=True)
+    norms[norms == 0] = 1.0
+    normalized = matrix / norms
+    k = min(k, matrix.shape[0])
+    labels = _kmeans(normalized, k, seed=seed)
+    simpoints = []
+    for c in sorted(set(labels.tolist())):
+        member_idx = np.flatnonzero(labels == c)
+        centroid = normalized[member_idx].mean(axis=0)
+        dists = np.linalg.norm(normalized[member_idx] - centroid, axis=1)
+        rep = int(member_idx[dists.argmin()])
+        simpoints.append(SimPoint(
+            window_index=rep,
+            start_instruction=rep * window_size,
+            weight=len(member_idx) / matrix.shape[0],
+            cluster=int(c),
+        ))
+    return sorted(simpoints, key=lambda s: -s.weight)
+
+
+def pick_simpoint(stream: Iterable[Instruction], **kwargs) -> SimPoint:
+    """The paper's selection: the heaviest cluster's representative."""
+    simpoints = find_simpoints(stream, **kwargs)
+    if not simpoints:
+        raise ValueError("stream too short for any analysis window")
+    return simpoints[0]

@@ -1,0 +1,174 @@
+"""Unit tests for the five runtime arbitrators."""
+
+import pytest
+
+from repro.arbiter import (
+    AppView,
+    FairArbitrator,
+    MaxSTPArbitrator,
+    SCMPKIArbitrator,
+    SCMPKIFairArbitrator,
+    SCMPKIMaxSTPArbitrator,
+)
+
+
+def view(index, *, ipc=0.8, ipc_ooo=1.0, mpki_ino=2.0, mpki_ooo=2.0,
+         since=50, util=0.1, on_ooo=False, name=None):
+    return AppView(
+        index=index, name=name or f"app{index}", ipc_current=ipc,
+        ipc_ooo_last=ipc_ooo, sc_mpki_ino=mpki_ino, sc_mpki_ooo=mpki_ooo,
+        intervals_since_ooo=since, util=util, on_ooo=on_ooo,
+    )
+
+
+class TestAppView:
+    def test_speedup(self):
+        assert view(0, ipc=0.5, ipc_ooo=1.0).speedup == 0.5
+
+    def test_speedup_unsampled_is_zero(self):
+        v = view(0)
+        object.__setattr__ if False else None
+        unsampled = AppView(index=0, name="x", ipc_current=0.5,
+                            ipc_ooo_last=None, sc_mpki_ino=1.0,
+                            sc_mpki_ooo=None, intervals_since_ooo=99,
+                            util=0.0, on_ooo=False)
+        assert unsampled.speedup == 0.0
+        assert unsampled.delta_sc_mpki == float("inf")
+
+    def test_delta_sc_mpki(self):
+        assert view(0, mpki_ino=6.0, mpki_ooo=2.0).delta_sc_mpki == \
+            pytest.approx(2.0)
+
+
+class TestSCMPKI:
+    def test_picks_highest_staleness(self):
+        arb = SCMPKIArbitrator(threshold=0.5)
+        views = [
+            view(0, mpki_ino=2.1, mpki_ooo=2.0),   # fresh
+            view(1, mpki_ino=20.0, mpki_ooo=2.0),  # stale: delta 9
+            view(2, mpki_ino=6.0, mpki_ooo=2.0),   # delta 2
+        ]
+        assert arb.pick(views, interval_index=0) == [1]
+
+    def test_gates_when_nothing_qualifies(self):
+        arb = SCMPKIArbitrator(threshold=0.5, starvation_intervals=10**6)
+        views = [view(i, mpki_ino=2.0, mpki_ooo=2.0) for i in range(4)]
+        assert arb.pick(views, interval_index=0) == []
+
+    def test_decay_suppresses_recent_switcher(self):
+        arb = SCMPKIArbitrator(threshold=0.5, decay_strength=8.0)
+        recently = view(0, mpki_ino=20.0, mpki_ooo=2.0, since=1)
+        long_ago = view(1, mpki_ino=12.0, mpki_ooo=2.0, since=100)
+        assert arb.pick([recently, long_ago], interval_index=0) == [1]
+
+    def test_intrinsically_unmemoizable_avoided(self):
+        """astar-like: both MPKIs high, ratio near zero -> not picked."""
+        arb = SCMPKIArbitrator(threshold=0.5, starvation_intervals=10**6)
+        astar = view(0, mpki_ino=19.0, mpki_ooo=18.0)
+        assert arb.pick([astar], interval_index=0) == []
+
+    def test_starvation_forces_sampling(self):
+        arb = SCMPKIArbitrator(threshold=0.5, starvation_intervals=100)
+        starved = view(0, mpki_ino=2.0, mpki_ooo=2.0, since=150)
+        assert arb.pick([starved], interval_index=0) == [0]
+
+    def test_never_sampled_app_wins(self):
+        arb = SCMPKIArbitrator()
+        fresh = view(0, mpki_ino=20.0, mpki_ooo=2.0)
+        never = AppView(index=1, name="new", ipc_current=0.5,
+                        ipc_ooo_last=None, sc_mpki_ino=5.0,
+                        sc_mpki_ooo=None, intervals_since_ooo=10**9,
+                        util=0.0, on_ooo=False)
+        picked = arb.pick([fresh, never], interval_index=0)
+        assert picked[0] == 1
+
+    def test_multi_slot(self):
+        arb = SCMPKIArbitrator(threshold=0.5)
+        views = [view(i, mpki_ino=20.0 - i, mpki_ooo=2.0)
+                 for i in range(4)]
+        picked = arb.pick(views, interval_index=0, slots=2)
+        assert picked == [0, 1]
+
+
+class TestMaxSTP:
+    def test_picks_slowest(self):
+        arb = MaxSTPArbitrator(sample_every=10**6)
+        views = [view(0, ipc=0.9), view(1, ipc=0.3), view(2, ipc=0.6)]
+        assert arb.pick(views, interval_index=0) == [1]
+
+    def test_never_gates(self):
+        arb = MaxSTPArbitrator()
+        views = [view(0, ipc=0.99)]
+        assert arb.pick(views, interval_index=0) == [0]
+
+    def test_forced_sampling_beats_slowness(self):
+        arb = MaxSTPArbitrator(sample_every=50)
+        slow = view(0, ipc=0.2, since=5)
+        stale = view(1, ipc=0.9, since=60)
+        assert arb.pick([slow, stale], interval_index=0) == [1]
+
+    def test_multi_slot_fills_producers(self):
+        arb = MaxSTPArbitrator(sample_every=10**6)
+        views = [view(i, ipc=0.1 * (i + 1)) for i in range(5)]
+        assert arb.pick(views, interval_index=0, slots=3) == [0, 1, 2]
+
+
+class TestSCMPKIMaxSTP:
+    def test_prefers_memoizable_slow_app(self):
+        arb = SCMPKIMaxSTPArbitrator(threshold=0.5)
+        views = [
+            view(0, ipc=0.5, mpki_ino=20.0, mpki_ooo=2.0),
+            view(1, ipc=0.4, mpki_ino=2.0, mpki_ooo=2.0),
+        ]
+        assert arb.pick(views, interval_index=0) == [0]
+
+    def test_falls_back_to_slowest_and_never_gates(self):
+        arb = SCMPKIMaxSTPArbitrator(threshold=0.5)
+        views = [view(0, ipc=0.9, mpki_ino=2.0),
+                 view(1, ipc=0.3, mpki_ino=2.0)]
+        assert arb.pick(views, interval_index=0) == [1]
+
+
+class TestFair:
+    def test_round_robin_order(self):
+        arb = FairArbitrator()
+        views = [view(i) for i in range(3)]
+        picks = [arb.pick(views, interval_index=k)[0] for k in range(6)]
+        assert picks == [0, 1, 2, 0, 1, 2]
+
+    def test_reset(self):
+        arb = FairArbitrator()
+        views = [view(i) for i in range(3)]
+        arb.pick(views, interval_index=0)
+        arb.reset()
+        assert arb.pick(views, interval_index=1) == [0]
+
+    def test_empty_views(self):
+        assert FairArbitrator().pick([], interval_index=0) == []
+
+
+class TestSCMPKIFair:
+    def test_skips_app_meeting_share_via_memoization(self):
+        arb = SCMPKIFairArbitrator(threshold=0.5)
+        served = view(0, util=0.6, mpki_ino=2.0, mpki_ooo=2.0)
+        behind = view(1, util=0.05, mpki_ino=2.0, mpki_ooo=2.0)
+        # Round robin starts at 0 but 0 is served: gate or skip to 1.
+        assert arb.pick([served, behind], interval_index=0) == [1]
+
+    def test_gates_when_everyone_served(self):
+        arb = SCMPKIFairArbitrator(threshold=0.5)
+        views = [view(i, util=0.9, mpki_ino=2.0, mpki_ooo=2.0)
+                 for i in range(4)]
+        assert arb.pick(views, interval_index=0) == []
+
+    def test_stale_sc_overrides_met_share(self):
+        arb = SCMPKIFairArbitrator(threshold=0.5)
+        served_stale = view(0, util=0.9, mpki_ino=20.0, mpki_ooo=2.0)
+        assert arb.pick([served_stale], interval_index=0) == [0]
+
+    def test_advances_round_robin(self):
+        arb = SCMPKIFairArbitrator(threshold=0.5)
+        views = [view(i, util=0.0) for i in range(3)]
+        first = arb.pick(views, interval_index=0)
+        second = arb.pick(views, interval_index=1)
+        assert first == [0] and second == [1]

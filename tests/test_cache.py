@@ -1,0 +1,127 @@
+"""Unit tests for the set-associative cache model."""
+
+import pytest
+
+from repro.memory import Cache, CacheConfig
+
+
+def small_cache(size=1024, assoc=2, line=64, latency=2):
+    return Cache(CacheConfig(size, assoc, line, latency))
+
+
+class TestCacheConfig:
+    def test_num_sets(self):
+        cfg = CacheConfig(32 * 1024, 4, 64)
+        assert cfg.num_sets == 128
+
+    def test_rejects_bad_geometry(self):
+        with pytest.raises(ValueError):
+            CacheConfig(1000, 3, 64)
+
+    def test_rejects_non_power_of_two_sets(self):
+        with pytest.raises(ValueError):
+            CacheConfig(3 * 64 * 2, 2, 64)  # 3 sets
+
+
+class TestBasicBehaviour:
+    def test_cold_miss_then_hit(self):
+        cache = small_cache()
+        assert cache.access(0x1000) is False
+        assert cache.access(0x1000) is True
+
+    def test_same_line_hits(self):
+        cache = small_cache(line=64)
+        cache.access(0x1000)
+        assert cache.access(0x103F) is True    # same 64 B line
+        assert cache.access(0x1040) is False   # next line
+
+    def test_stats_accounting(self):
+        cache = small_cache()
+        cache.access(0x1000)
+        cache.access(0x1000)
+        cache.access(0x2000)
+        assert cache.stats.accesses == 3
+        assert cache.stats.misses == 2
+        assert cache.stats.hits == 1
+        assert cache.stats.miss_rate == pytest.approx(2 / 3)
+
+    def test_mpki(self):
+        cache = small_cache()
+        cache.access(0x1000)
+        assert cache.stats.mpki(1000) == pytest.approx(1.0)
+        assert cache.stats.mpki(0) == 0.0
+
+
+class TestReplacement:
+    def test_lru_eviction_order(self):
+        # 2-way: fill a set with A and B, touch A, insert C -> B evicted.
+        cache = small_cache(size=1024, assoc=2, line=64)  # 8 sets
+        set_stride = 8 * 64
+        a, b, c = 0x0, set_stride, 2 * set_stride
+        cache.access(a)
+        cache.access(b)
+        cache.access(a)            # A most recent
+        cache.access(c)            # evicts B
+        assert cache.access(a) is True
+        assert cache.access(b) is False
+
+    def test_capacity_bounded(self):
+        cache = small_cache(size=1024, assoc=2, line=64)
+        for i in range(100):
+            cache.access(i * 64)
+        assert cache.resident_lines <= cache.capacity_lines
+
+
+class TestWriteback:
+    def test_dirty_eviction_counts_writeback(self):
+        cache = small_cache(size=1024, assoc=2, line=64)
+        set_stride = 8 * 64
+        cache.access(0x0, write=True)
+        cache.access(set_stride)
+        cache.access(2 * set_stride)   # evicts dirty line 0
+        assert cache.stats.writebacks == 1
+
+    def test_clean_eviction_no_writeback(self):
+        cache = small_cache(size=1024, assoc=2, line=64)
+        set_stride = 8 * 64
+        cache.access(0x0)
+        cache.access(set_stride)
+        cache.access(2 * set_stride)
+        assert cache.stats.writebacks == 0
+
+    def test_write_hit_marks_dirty(self):
+        cache = small_cache(size=1024, assoc=2, line=64)
+        cache.access(0x0)                 # clean fill
+        cache.access(0x0, write=True)     # becomes dirty
+        assert cache.flush() == 1
+
+    def test_flush_reports_dirty_lines(self):
+        cache = small_cache()
+        cache.access(0x0, write=True)     # set 0
+        cache.access(0x40, write=True)    # set 1
+        cache.access(0x80)                # set 2, clean
+        assert cache.flush() == 2
+        assert cache.resident_lines == 0
+
+
+class TestAuxiliaryOps:
+    def test_probe_does_not_touch_stats(self):
+        cache = small_cache()
+        cache.access(0x1000)
+        before = cache.stats.accesses
+        assert cache.probe(0x1000) is True
+        assert cache.probe(0x9999000) is False
+        assert cache.stats.accesses == before
+
+    def test_fill_installs_without_access(self):
+        cache = small_cache()
+        cache.fill(0x1000)
+        assert cache.stats.accesses == 0
+        assert cache.access(0x1000) is True
+
+    def test_invalidate_returns_dirtiness(self):
+        cache = small_cache()
+        cache.access(0x1000, write=True)
+        assert cache.invalidate(0x1000) is True
+        assert cache.invalidate(0x1000) is False
+        assert cache.access(0x1000) is False

@@ -1,0 +1,126 @@
+"""Tests for phase characterization (analytic and measured models)."""
+
+import pytest
+
+from repro.characterize import analytic_model, measure_model
+from repro.characterize.phase_model import (
+    OINO_REPLAY_EFFICIENCY,
+    PhaseProfile,
+    TRACES_PER_KILO_INSTR,
+)
+from repro.workloads import ALL_BENCHMARKS, get_profile
+
+
+def phase(memoizable=0.9, ipc_ooo=2.0, ratio=0.5, vol=0.02, kb=2.0):
+    return PhaseProfile(
+        phase_id=0, weight=1.0, ipc_ooo=ipc_ooo,
+        ipc_ino=ipc_ooo * ratio, memoizable=memoizable,
+        volatility=vol, trace_kb=kb,
+    )
+
+
+class TestPhaseProfile:
+    def test_sc_mpki_ooo_reflects_non_memoizability(self):
+        assert phase(memoizable=1.0).sc_mpki_ooo == pytest.approx(0.0)
+        assert phase(memoizable=0.0).sc_mpki_ooo == pytest.approx(
+            TRACES_PER_KILO_INSTR)
+
+    def test_sc_mpki_ino_falls_with_coverage(self):
+        p = phase(memoizable=0.8)
+        assert p.sc_mpki_ino(1.0) < p.sc_mpki_ino(0.5) < p.sc_mpki_ino(0.0)
+
+    def test_full_coverage_matches_producer_mpki(self):
+        p = phase(memoizable=0.8)
+        assert p.sc_mpki_ino(1.0) == pytest.approx(p.sc_mpki_ooo)
+
+    def test_oino_ipc_interpolates(self):
+        p = phase(memoizable=0.9, ipc_ooo=2.0, ratio=0.5)
+        assert p.ipc_oino(0.0) == pytest.approx(p.ipc_ino)
+        full = p.ipc_oino(1.0)
+        assert p.ipc_ino < full < p.ipc_ooo
+        assert full == pytest.approx(
+            0.9 * OINO_REPLAY_EFFICIENCY * 2.0 + 0.1 * 1.0)
+
+    def test_unmemoizable_phase_gains_nothing(self):
+        p = phase(memoizable=0.0)
+        assert p.ipc_oino(1.0) == pytest.approx(p.ipc_ino)
+
+
+class TestAnalyticModel:
+    def test_every_benchmark_builds(self):
+        for name in ALL_BENCHMARKS:
+            model = analytic_model(name)
+            assert model.phases
+            assert model.pass_instructions > 0
+
+    def test_weights_sum_to_one(self):
+        for name in ("bzip2", "gcc", "hmmer"):
+            model = analytic_model(name)
+            assert sum(p.weight for p in model.phases) == pytest.approx(1.0)
+
+    def test_mean_ipcs_track_targets(self):
+        for name in ALL_BENCHMARKS:
+            prof = get_profile(name)
+            model = analytic_model(name)
+            assert model.mean_ipc_ooo == pytest.approx(
+                prof.target_ipc_ooo, rel=0.25)
+            ratio = model.mean_ipc_ino / model.mean_ipc_ooo
+            assert ratio == pytest.approx(prof.target_ipc_ratio, rel=0.2)
+
+    def test_ino_never_exceeds_ooo(self):
+        for name in ALL_BENCHMARKS:
+            for p in analytic_model(name).phases:
+                assert p.ipc_ino <= p.ipc_ooo
+
+    def test_deterministic(self):
+        a = analytic_model("gcc")
+        b = analytic_model("gcc")
+        assert a.phases == b.phases
+
+    def test_phase_at_walks_phases(self):
+        model = analytic_model("bzip2")
+        assert model.phase_at(0).phase_id == 0
+        seen = {model.phase_at(i * 100_000).phase_id for i in range(40)}
+        assert len(seen) == len(model.phases)
+
+    def test_phase_at_wraps(self):
+        model = analytic_model("hmmer")
+        assert model.phase_at(model.pass_instructions).phase_id == \
+            model.phase_at(0).phase_id
+
+    def test_hpd_more_memoizable_than_lpd_on_average(self):
+        hpd = [analytic_model(n) for n in ALL_BENCHMARKS
+               if get_profile(n).category == "HPD"]
+        lpd = [analytic_model(n) for n in ALL_BENCHMARKS
+               if get_profile(n).category == "LPD"]
+        mean_hpd = sum(
+            sum(p.memoizable * p.weight for p in m.phases)
+            for m in hpd) / len(hpd)
+        mean_lpd = sum(
+            sum(p.memoizable * p.weight for p in m.phases)
+            for m in lpd) / len(lpd)
+        assert mean_hpd > mean_lpd
+
+
+class TestMeasureModel:
+    """Slower: grounds the phase profiles in the detailed cores."""
+
+    def test_measured_model_structure(self):
+        model = measure_model("hmmer", instructions_per_phase=6_000)
+        prof = get_profile("hmmer")
+        assert len(model.phases) == prof.phase_count
+        assert sum(p.weight for p in model.phases) == pytest.approx(1.0)
+
+    def test_measured_memoizability_ordering(self):
+        memo_hmmer = measure_model(
+            "hmmer", instructions_per_phase=6_000)
+        memo_astar = measure_model(
+            "astar", instructions_per_phase=6_000)
+        frac = lambda m: sum(
+            p.memoizable * p.weight for p in m.phases)
+        assert frac(memo_hmmer) > frac(memo_astar)
+
+    def test_measured_ino_below_ooo(self):
+        model = measure_model("gcc", instructions_per_phase=5_000)
+        for p in model.phases:
+            assert p.ipc_ino <= p.ipc_ooo

@@ -1,0 +1,30 @@
+"""Tests for the command-line entry point."""
+
+import pytest
+
+from repro.cli import main
+from repro.experiments import EXPERIMENTS
+
+
+class TestCLI:
+    def test_runs_single_experiment(self, capsys):
+        assert main(["fig6"]) == 0
+        out = capsys.readouterr().out
+        assert "fig6" in out
+        assert "Mirage" in out
+
+    def test_quick_flag(self, capsys):
+        assert main(["fig6", "--quick"]) == 0
+
+    def test_rejects_unknown_experiment(self):
+        with pytest.raises(SystemExit):
+            main(["fig99"])
+
+    def test_all_experiments_are_dispatchable(self):
+        # Registry names contain no characters argparse would reject.
+        for name in EXPERIMENTS:
+            assert " " not in name and name == name.lower()
+
+    def test_export_flag(self, tmp_path, capsys):
+        assert main(["fig6", "--export", str(tmp_path)]) == 0
+        assert (tmp_path / "fig6.json").exists()

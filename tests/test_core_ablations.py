@@ -1,0 +1,86 @@
+"""Ablations on the detailed core models.
+
+These pin down that each microarchitectural feature actually earns its
+keep in the model — the same sanity checks a hardware study would run.
+"""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.cores import InOrderCore, OutOfOrderCore
+from repro.cores.params import INO_PARAMS, OOO_PARAMS
+from repro.memory import MemoryHierarchy
+from repro.workloads import make_benchmark
+
+
+def mem():
+    return MemoryHierarchy().core_view(0)
+
+
+class TestWindowSize:
+    def test_bigger_rob_helps_ilp_code(self):
+        bench = make_benchmark("libquantum", seed=9)
+        small = replace(OOO_PARAMS, rob_size=8)
+        big = replace(OOO_PARAMS, rob_size=128)
+        r_small = OutOfOrderCore(mem(), params=small).run(
+            bench.stream(), 15_000)
+        r_big = OutOfOrderCore(mem(), params=big).run(
+            bench.stream(), 15_000)
+        assert r_big.ipc > r_small.ipc
+
+    def test_tiny_rob_approaches_inorder(self):
+        bench = make_benchmark("hmmer", seed=9)
+        tiny = replace(OOO_PARAMS, rob_size=2)
+        r_tiny = OutOfOrderCore(mem(), params=tiny).run(
+            bench.stream(), 15_000)
+        r_ino = InOrderCore(mem()).run(bench.stream(), 15_000)
+        assert r_tiny.ipc < r_ino.ipc * 1.6
+
+
+class TestWidth:
+    def test_wider_machine_is_faster(self):
+        bench = make_benchmark("hmmer", seed=9)
+        narrow = replace(OOO_PARAMS, width=1)
+        r1 = OutOfOrderCore(mem(), params=narrow).run(
+            bench.stream(), 15_000)
+        r3 = OutOfOrderCore(mem()).run(bench.stream(), 15_000)
+        assert r3.ipc > r1.ipc * 1.3
+
+    def test_width_one_capped_at_ipc_one(self):
+        bench = make_benchmark("hmmer", seed=9)
+        narrow = replace(OOO_PARAMS, width=1)
+        r = OutOfOrderCore(mem(), params=narrow).run(
+            bench.stream(), 10_000)
+        assert r.ipc <= 1.0
+
+
+class TestLoadStoreQueues:
+    def test_small_lq_throttles_memory_code(self):
+        bench = make_benchmark("bwaves", seed=9)
+        small = replace(OOO_PARAMS, lq_size=2)
+        r_small = OutOfOrderCore(mem(), params=small).run(
+            bench.stream(), 15_000)
+        r_full = OutOfOrderCore(mem()).run(bench.stream(), 15_000)
+        assert r_full.ipc >= r_small.ipc
+
+    def test_mshr_limit_throttles_miss_bursts(self):
+        bench = make_benchmark("mcf", seed=9)
+        one = replace(INO_PARAMS, mem_inflight=1)
+        eight = replace(INO_PARAMS, mem_inflight=8)
+        r_one = InOrderCore(mem(), params=one).run(bench.stream(), 10_000)
+        r_eight = InOrderCore(mem(), params=eight).run(
+            bench.stream(), 10_000)
+        assert r_eight.ipc >= r_one.ipc
+
+
+class TestPipelineDepth:
+    def test_deeper_pipe_pays_more_per_mispredict(self):
+        bench = make_benchmark("gobmk", seed=9)  # branchy
+        shallow = replace(OOO_PARAMS, fetch_to_issue=2)
+        deep = replace(OOO_PARAMS, fetch_to_issue=10)
+        r_shallow = OutOfOrderCore(mem(), params=shallow).run(
+            bench.stream(), 15_000)
+        r_deep = OutOfOrderCore(mem(), params=deep).run(
+            bench.stream(), 15_000)
+        assert r_shallow.ipc >= r_deep.ipc

@@ -1,0 +1,82 @@
+"""Property-based tests over the core models themselves."""
+
+import itertools
+
+from hypothesis import given, settings, strategies as st
+
+from repro.cores import InOrderCore, OinOCore, OutOfOrderCore
+from repro.memory import MemoryHierarchy
+from repro.schedule import ScheduleCache, ScheduleRecorder
+from repro.workloads import ALL_BENCHMARKS, make_benchmark
+
+BENCH_NAMES = st.sampled_from(["hmmer", "gcc", "mcf", "bzip2",
+                               "libquantum", "astar"])
+
+
+class TestCoreInvariants:
+    @given(BENCH_NAMES, st.integers(0, 3))
+    @settings(max_examples=8, deadline=None)
+    def test_ipc_never_exceeds_width(self, name, seed):
+        bench = make_benchmark(name, seed=seed)
+        for core_cls in (OutOfOrderCore, InOrderCore):
+            core = core_cls(MemoryHierarchy().core_view(0))
+            result = core.run(bench.stream(), 4_000)
+            assert result.ipc <= core.params.width + 1e-9
+
+    @given(BENCH_NAMES, st.integers(0, 3))
+    @settings(max_examples=8, deadline=None)
+    def test_ino_never_beats_ooo(self, name, seed):
+        bench = make_benchmark(name, seed=seed)
+        r_ooo = OutOfOrderCore(MemoryHierarchy().core_view(0)).run(
+            bench.stream(), 6_000)
+        r_ino = InOrderCore(MemoryHierarchy().core_view(1)).run(
+            bench.stream(), 6_000)
+        assert r_ino.ipc <= r_ooo.ipc * 1.05
+
+    @given(BENCH_NAMES)
+    @settings(max_examples=6, deadline=None)
+    def test_runs_are_deterministic(self, name):
+        bench = make_benchmark(name, seed=1)
+        runs = [
+            OutOfOrderCore(MemoryHierarchy().core_view(0)).run(
+                bench.stream(), 4_000).cycles
+            for _ in range(2)
+        ]
+        assert runs[0] == runs[1]
+
+    @given(BENCH_NAMES, st.integers(0, 2))
+    @settings(max_examples=6, deadline=None)
+    def test_stats_internally_consistent(self, name, seed):
+        bench = make_benchmark(name, seed=seed)
+        r = OutOfOrderCore(MemoryHierarchy().core_view(0)).run(
+            bench.stream(), 5_000)
+        s = r.stats
+        assert s.instructions == 5_000
+        assert s.mispredicts <= s.branches
+        assert s.l1d_misses <= s.loads + s.stores
+        assert s.loads + s.stores <= s.instructions
+
+    @given(BENCH_NAMES)
+    @settings(max_examples=6, deadline=None)
+    def test_oino_trace_accounting(self, name):
+        bench = make_benchmark(name, seed=2)
+        sc = ScheduleCache(None)
+        rec = ScheduleRecorder(sc)
+        OutOfOrderCore(MemoryHierarchy().core_view(0),
+                       recorder=rec).run(bench.stream(), 8_000)
+        r = OinOCore(MemoryHierarchy().core_view(1), sc).run(
+            bench.stream(), 8_000)
+        s = r.stats
+        assert s.sc_trace_hits + s.sc_trace_misses == s.traces
+        assert 0.0 <= s.memoized_fraction <= 1.0
+        assert s.trace_aborts <= s.traces
+
+    @given(st.integers(1_000, 6_000))
+    @settings(max_examples=6, deadline=None)
+    def test_longer_runs_take_longer(self, n):
+        bench = make_benchmark("hmmer", seed=1)
+        short = OutOfOrderCore(MemoryHierarchy().core_view(0)).run(
+            bench.stream(), n)
+        long = OutOfOrderCore(MemoryHierarchy().core_view(0)).run(
+            bench.stream(), n * 2)
+        assert long.cycles > short.cycles

@@ -1,0 +1,314 @@
+"""Unit tests for the three cycle-level core models."""
+
+import itertools
+
+import pytest
+
+from repro.cores import InOrderCore, OinOCore, OutOfOrderCore
+from repro.cores.functional_units import FUPool, SlotPool, fu_type_for
+from repro.cores.params import INO_PARAMS, OOO_PARAMS
+from repro.isa import Instruction, OpClass
+from repro.memory import MemoryHierarchy
+from repro.schedule import Schedule, ScheduleCache, ScheduleRecorder
+
+
+def mem(core_id=0):
+    return MemoryHierarchy().core_view(core_id)
+
+
+def independent_alu_stream():
+    seq = 0
+    while True:
+        yield Instruction(seq=seq, pc=0x1000 + (seq % 64) * 4,
+                          opclass=OpClass.IALU, dst=4 + seq % 20,
+                          srcs=(1, 2))
+        seq += 1
+
+
+def serial_chain_stream():
+    seq = 0
+    while True:
+        yield Instruction(seq=seq, pc=0x1000 + (seq % 64) * 4,
+                          opclass=OpClass.IALU, dst=5, srcs=(5,))
+        seq += 1
+
+
+class TestSlotPool:
+    def test_capacity_per_cycle(self):
+        pool = SlotPool(2)
+        assert pool.earliest_free(0) == 0
+        pool.reserve(0)
+        pool.reserve(0)
+        assert pool.earliest_free(0) == 1
+
+    def test_span_reservation(self):
+        pool = SlotPool(1)
+        pool.reserve(3, span=4)   # busy cycles 3..6
+        assert pool.earliest_free(3) == 7
+        assert pool.earliest_free(0, span=3) == 0
+
+    def test_rejects_zero_capacity(self):
+        with pytest.raises(ValueError):
+            SlotPool(0)
+
+    def test_pruning_keeps_recent(self):
+        pool = SlotPool(1, prune_window=100)
+        for c in range(0, 500, 2):
+            pool.reserve(c)
+        # Old entries may be pruned, recent ones must remain accurate.
+        assert pool.usage_at(498) == 1
+        assert pool.earliest_free(498) == 499
+
+
+class TestFUPool:
+    def test_width_bound(self):
+        pool = FUPool(width=2)
+        cycles = [pool.issue_at(OpClass.IALU, 0, 1) for _ in range(4)]
+        assert cycles == [0, 0, 1, 1]
+
+    def test_single_multiplier_serializes(self):
+        pool = FUPool(width=3)
+        c1 = pool.issue_at(OpClass.IMUL, 0, 3)
+        c2 = pool.issue_at(OpClass.IMUL, 0, 3)
+        assert c1 == 0 and c2 == 1   # pipelined: next cycle ok
+
+    def test_divide_unpipelined(self):
+        pool = FUPool(width=3)
+        c1 = pool.issue_at(OpClass.IDIV, 0, 12)
+        c2 = pool.issue_at(OpClass.IDIV, 0, 12)
+        assert c1 == 0 and c2 == 12
+
+    def test_fu_type_mapping(self):
+        assert fu_type_for(OpClass.LOAD) == fu_type_for(OpClass.STORE)
+        assert fu_type_for(OpClass.IALU) != fu_type_for(OpClass.FALU)
+
+
+class TestOutOfOrderCore:
+    def test_independent_work_near_width(self):
+        core = OutOfOrderCore(mem())
+        r = core.run(independent_alu_stream(), 20_000)
+        assert r.ipc > 2.5
+
+    def test_serial_chain_is_ipc_one(self):
+        core = OutOfOrderCore(mem())
+        r = core.run(serial_chain_stream(), 10_000)
+        assert 0.9 < r.ipc <= 1.05
+
+    def test_long_latency_chain(self):
+        def muls():
+            seq = 0
+            while True:
+                yield Instruction(seq=seq, pc=0x1000, opclass=OpClass.IMUL,
+                                  dst=5, srcs=(5,))
+                seq += 1
+        r = OutOfOrderCore(mem()).run(muls(), 5_000)
+        assert r.ipc == pytest.approx(1 / 3, rel=0.1)
+
+    def test_reorders_around_stall(self):
+        """Adjacent load-use pairs stall the InO; the OoO hides them."""
+        def blocked():
+            seq = 0
+            while True:
+                yield Instruction(seq=seq, pc=0x1000, opclass=OpClass.LOAD,
+                                  dst=5, srcs=(1,),
+                                  mem_addr=0x100000 + (seq * 64) % 4096)
+                seq += 1
+                # Immediate use: program order is hostile to in-order.
+                yield Instruction(seq=seq, pc=0x1004, opclass=OpClass.IMUL,
+                                  dst=6, srcs=(5,))
+                seq += 1
+                for _ in range(7):
+                    yield Instruction(seq=seq, pc=0x1000 + 4 * (seq % 60),
+                                      opclass=OpClass.IALU,
+                                      dst=7 + seq % 10, srcs=(1,))
+                    seq += 1
+        r_ooo = OutOfOrderCore(mem(0)).run(blocked(), 10_000)
+        r_ino = InOrderCore(mem(1)).run(blocked(), 10_000)
+        assert r_ooo.ipc > r_ino.ipc * 1.2
+
+    def test_mispredicts_counted(self):
+        def noisy_branches():
+            import random
+            rng = random.Random(7)
+            seq = 0
+            while True:
+                yield Instruction(seq=seq, pc=0x1000 + (seq % 16) * 4,
+                                  opclass=OpClass.BRANCH, is_branch=True,
+                                  taken=rng.random() < 0.5,
+                                  target=0x1000)
+                seq += 1
+        r = OutOfOrderCore(mem()).run(noisy_branches(), 3_000)
+        assert r.stats.mispredicts > 300
+
+    def test_recording_populates_sc(self):
+        from repro.workloads import make_benchmark
+        sc = ScheduleCache(None)
+        rec = ScheduleRecorder(sc)
+        core = OutOfOrderCore(mem(), recorder=rec)
+        core.run(make_benchmark("hmmer", seed=3).stream(), 20_000)
+        assert sc.num_entries > 0
+        assert rec.memoized_writes > 0
+
+    def test_result_counts(self):
+        r = OutOfOrderCore(mem()).run(independent_alu_stream(), 1_000)
+        assert r.instructions == 1_000
+        assert r.cycles > 0
+        assert r.energy_events["fetch"] == 1_000
+
+
+class TestInOrderCore:
+    def test_matches_ooo_on_independent_work(self):
+        r_ino = InOrderCore(mem()).run(independent_alu_stream(), 20_000)
+        assert r_ino.ipc > 2.5
+
+    def test_matches_ooo_on_serial_chain(self):
+        r = InOrderCore(mem()).run(serial_chain_stream(), 10_000)
+        assert 0.9 < r.ipc <= 1.05
+
+    def test_stall_on_use_allows_miss_overlap(self):
+        """Independent missing loads with distant uses overlap."""
+        def mlp_friendly():
+            seq = 0
+            while True:
+                for c in range(4):
+                    yield Instruction(
+                        seq=seq, pc=0x1000 + (seq % 60) * 4,
+                        opclass=OpClass.LOAD, dst=10 + c, srcs=(1,),
+                        mem_addr=0x10000000 + seq * 4096)
+                    seq += 1
+                for c in range(4):
+                    yield Instruction(
+                        seq=seq, pc=0x1000 + (seq % 60) * 4,
+                        opclass=OpClass.IALU, dst=20, srcs=(10 + c,))
+                    seq += 1
+
+        def mlp_hostile():
+            seq = 0
+            while True:
+                for c in range(4):
+                    yield Instruction(
+                        seq=seq, pc=0x1000 + (seq % 60) * 4,
+                        opclass=OpClass.LOAD, dst=10 + c, srcs=(1,),
+                        mem_addr=0x10000000 + seq * 4096)
+                    seq += 1
+                    yield Instruction(
+                        seq=seq, pc=0x1000 + (seq % 60) * 4,
+                        opclass=OpClass.IALU, dst=20, srcs=(10 + c,))
+                    seq += 1
+        r_friendly = InOrderCore(mem(0)).run(mlp_friendly(), 4_000)
+        r_hostile = InOrderCore(mem(1)).run(mlp_hostile(), 4_000)
+        assert r_friendly.ipc > r_hostile.ipc
+
+    def test_in_order_never_beats_ooo_on_benchmarks(self):
+        from repro.workloads import make_benchmark
+        for name in ("hmmer", "gobmk"):
+            bench = make_benchmark(name, seed=2)
+            r_ooo = OutOfOrderCore(mem(0)).run(bench.stream(), 15_000)
+            r_ino = InOrderCore(mem(1)).run(bench.stream(), 15_000)
+            assert r_ino.ipc <= r_ooo.ipc * 1.02
+
+    def test_store_to_load_ordering(self):
+        def st_ld():
+            seq = 0
+            while True:
+                yield Instruction(seq=seq, pc=0x1000, opclass=OpClass.STORE,
+                                  srcs=(1,), mem_addr=0x8000)
+                seq += 1
+                yield Instruction(seq=seq, pc=0x1004, opclass=OpClass.LOAD,
+                                  dst=5, srcs=(2,), mem_addr=0x8000)
+                seq += 1
+        r = InOrderCore(mem()).run(st_ld(), 2_000)
+        # Same-line dependence throttles well below width.
+        assert r.ipc < 1.0
+
+
+class TestOinOCore:
+    def _producer_consumer(self, name, n=25_000, sc_bytes=None):
+        from repro.workloads import make_benchmark
+        bench = make_benchmark(name, seed=2)
+        sc = ScheduleCache(sc_bytes)
+        rec = ScheduleRecorder(sc)
+        OutOfOrderCore(mem(0), recorder=rec).run(bench.stream(), n)
+        r_oino = OinOCore(mem(1), sc).run(bench.stream(), n)
+        r_ino = InOrderCore(mem(2)).run(bench.stream(), n)
+        return r_oino, r_ino
+
+    def test_replay_beats_plain_ino_on_memoizable(self):
+        r_oino, r_ino = self._producer_consumer("hmmer")
+        assert r_oino.stats.memoized_fraction > 0.8
+        assert r_oino.ipc > r_ino.ipc * 1.1
+
+    def test_empty_sc_degrades_to_ino(self):
+        from repro.workloads import make_benchmark
+        bench = make_benchmark("hmmer", seed=2)
+        sc = ScheduleCache()
+        r_oino = OinOCore(mem(0), sc).run(bench.stream(), 10_000)
+        r_ino = InOrderCore(mem(1)).run(bench.stream(), 10_000)
+        assert r_oino.stats.memoized_fraction == 0.0
+        assert r_oino.ipc == pytest.approx(r_ino.ipc, rel=0.1)
+
+    def test_finite_sc_memoizes_less_than_infinite(self):
+        r_small, _ = self._producer_consumer("gcc", sc_bytes=1024)
+        r_inf, _ = self._producer_consumer("gcc", sc_bytes=None)
+        assert (r_small.stats.memoized_fraction
+                <= r_inf.stats.memoized_fraction + 0.02)
+
+    def test_unmemoizable_benchmark_low_replay(self):
+        r_oino, _ = self._producer_consumer("astar")
+        assert r_oino.stats.memoized_fraction < 0.4
+
+    def test_alias_detection(self):
+        insns = [
+            Instruction(seq=0, pc=0x1000, opclass=OpClass.STORE,
+                        srcs=(1,), mem_addr=0x8000),
+            Instruction(seq=1, pc=0x1004, opclass=OpClass.LOAD, dst=5,
+                        srcs=(2,), mem_addr=0x8000),
+        ] + [
+            Instruction(seq=2 + i, pc=0x1008 + 4 * i,
+                        opclass=OpClass.IALU, dst=6, srcs=(1,))
+            for i in range(8)
+        ]
+        from repro.schedule import Trace
+        trace = Trace(start_pc=0x1000, path_hash=0, instructions=insns)
+        # Load scheduled before the older same-line store: alias.
+        bad = (1, 0) + tuple(range(2, 10))
+        good = tuple(range(10))
+        assert OinOCore._replay_aliases(trace, bad) is True
+        assert OinOCore._replay_aliases(trace, good) is False
+
+    def test_wrong_path_costs_abort(self):
+        """A stored schedule for a different path aborts, not replays."""
+        from repro.workloads import make_benchmark
+        bench = make_benchmark("hmmer", seed=2)
+        sc = ScheduleCache(None)
+        rec = ScheduleRecorder(sc)
+        OutOfOrderCore(mem(0), recorder=rec).run(bench.stream(), 20_000)
+        # Corrupt every stored path so lookups become wrong-path.
+        schedules = sc.contents()
+        sc.invalidate_all()
+        for s in schedules:
+            sc.insert(Schedule(start_pc=s.start_pc,
+                               path_hash=s.path_hash ^ 0xDEAD,
+                               issue_order=s.issue_order))
+        core = OinOCore(mem(1), sc)
+        r = core.run(bench.stream(), 20_000)
+        assert r.stats.memoized_fraction == 0.0
+        assert r.stats.trace_aborts > 0
+
+    def test_launch_gate_suppresses_hopeless_speculation(self):
+        """After enough wrong-path launches the gate stops aborting."""
+        from repro.workloads import make_benchmark
+        bench = make_benchmark("hmmer", seed=2)
+        sc = ScheduleCache(None)
+        rec = ScheduleRecorder(sc)
+        OutOfOrderCore(mem(0), recorder=rec).run(bench.stream(), 20_000)
+        schedules = sc.contents()
+        sc.invalidate_all()
+        for s in schedules:
+            sc.insert(Schedule(start_pc=s.start_pc,
+                               path_hash=s.path_hash ^ 0xDEAD,
+                               issue_order=s.issue_order))
+        r = OinOCore(mem(1), sc).run(bench.stream(), 20_000)
+        # Gate engages after ~8 launches per pc: aborts must be far
+        # fewer than the number of traces.
+        assert r.stats.trace_aborts < r.stats.traces * 0.5

@@ -1,0 +1,65 @@
+"""Cross-tier energy consistency.
+
+The interval tier charges energy through per-instruction constants
+(``CoreEnergyModel.EPI_PJ``); the detailed tier counts structure
+events.  They must stay in a sane relationship: the committed-work
+measurement bounds the constant from below (the constant additionally
+covers wrong-path work the event counts omit), and never exceeds it by
+much.
+"""
+
+import pytest
+
+from repro.cores import InOrderCore, OinOCore, OutOfOrderCore
+from repro.energy import CoreEnergyModel
+from repro.memory import MemoryHierarchy
+from repro.schedule import ScheduleCache, ScheduleRecorder
+from repro.workloads import make_benchmark
+
+SAMPLE = ("hmmer", "bzip2", "libquantum", "gobmk")
+N = 15_000
+
+
+@pytest.fixture(scope="module")
+def measured_epi():
+    em = CoreEnergyModel()
+    totals = {"ooo": [0.0, 0], "ino": [0.0, 0], "oino": [0.0, 0]}
+    for name in SAMPLE:
+        bench = make_benchmark(name, seed=2)
+        sc = ScheduleCache(None)
+        rec = ScheduleRecorder(sc)
+        runs = {
+            "ooo": OutOfOrderCore(
+                MemoryHierarchy().core_view(0), recorder=rec
+            ).run(bench.stream(), N),
+            "ino": InOrderCore(MemoryHierarchy().core_view(1)).run(
+                bench.stream(), N),
+            "oino": OinOCore(MemoryHierarchy().core_view(2), sc).run(
+                bench.stream(), N),
+        }
+        for kind, result in runs.items():
+            bd = em.breakdown(kind, result.energy_events, result.cycles)
+            totals[kind][0] += bd.dynamic_total_pj
+            totals[kind][1] += result.instructions
+    return {kind: pj / n for kind, (pj, n) in totals.items()}
+
+
+class TestEPIConsistency:
+    def test_interval_constants_cover_committed_work(self, measured_epi):
+        em = CoreEnergyModel()
+        for kind, measured in measured_epi.items():
+            constant = em.EPI_PJ[kind]
+            # Constant >= committed-work measurement (it also covers
+            # wrong-path waste), but within 2x of it.
+            assert constant >= measured * 0.9, (kind, measured)
+            assert constant <= measured * 2.0, (kind, measured)
+
+    def test_epi_ordering_matches_tiers(self, measured_epi):
+        assert (measured_epi["ooo"] > measured_epi["oino"]
+                >= measured_epi["ino"] * 0.95)
+
+    def test_oino_premium_over_ino(self, measured_epi):
+        """OinO-mode structures make replayed instructions cost more
+        than plain InO instructions (paper: +14 % PRF, +5.5 % LSQ,
+        SC fetches)."""
+        assert measured_epi["oino"] > measured_epi["ino"]

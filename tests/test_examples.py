@@ -1,0 +1,32 @@
+"""The example scripts are deliverables: they must run end to end."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = sorted(
+    (Path(__file__).resolve().parent.parent / "examples").glob("*.py"))
+
+
+@pytest.mark.parametrize("path", EXAMPLES, ids=lambda p: p.stem)
+def test_example_runs(path):
+    proc = subprocess.run(
+        [sys.executable, str(path)],
+        capture_output=True, text=True, timeout=300,
+    )
+    assert proc.returncode == 0, proc.stderr[-2000:]
+    assert proc.stdout.strip(), "examples must print their story"
+
+
+def test_quickstart_tells_the_mirage_story():
+    path = next(p for p in EXAMPLES if p.stem == "quickstart")
+    proc = subprocess.run(
+        [sys.executable, str(path)],
+        capture_output=True, text=True, timeout=300,
+    )
+    out = proc.stdout
+    assert "OoO producer" in out
+    assert "OinO consumer" in out
+    assert "mirage" in out.lower()

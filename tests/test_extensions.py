@@ -1,0 +1,92 @@
+"""Tests for the extension features: software arbitration and
+multithreaded schedule broadcast (paper sections 3.2.4 and 6)."""
+
+import pytest
+
+from repro.arbiter import SCMPKIArbitrator
+from repro.arbiter.base import AppView
+from repro.arbiter.software import SoftwareArbitrator
+from repro.characterize import analytic_model
+from repro.cmp import ClusterConfig
+from repro.cmp.multithreaded import MultithreadedMirage
+from repro.cmp.system import CMPSystem
+from repro.experiments import multithreaded, software_arbiter
+
+
+def view(index, mpki_ino=2.0):
+    return AppView(index=index, name=f"a{index}", ipc_current=0.5,
+                   ipc_ooo_last=1.0, sc_mpki_ino=mpki_ino,
+                   sc_mpki_ooo=2.0, intervals_since_ooo=50, util=0.1,
+                   on_ooo=False)
+
+
+class TestSoftwareArbitrator:
+    def test_holds_decision_between_reactions(self):
+        sw = SoftwareArbitrator(SCMPKIArbitrator(), reaction_intervals=5)
+        stale = [view(0, mpki_ino=20.0), view(1)]
+        first = sw.pick(stale, interval_index=0)
+        # Change the world: the inner arbitrator would now pick 1.
+        changed = [view(0), view(1, mpki_ino=20.0)]
+        held = sw.pick(changed, interval_index=2)
+        assert held == first
+        # After the reaction period, the decision updates.
+        updated = sw.pick(changed, interval_index=5)
+        assert updated == [1]
+
+    def test_granularity_one_is_transparent(self):
+        inner = SCMPKIArbitrator()
+        sw = SoftwareArbitrator(SCMPKIArbitrator(), reaction_intervals=1)
+        views = [view(0, mpki_ino=20.0), view(1)]
+        assert sw.pick(views, interval_index=0) == \
+            inner.pick(views, interval_index=0)
+        assert sw.pick(views, interval_index=1) == \
+            inner.pick(views, interval_index=1)
+
+    def test_rejects_bad_granularity(self):
+        with pytest.raises(ValueError):
+            SoftwareArbitrator(SCMPKIArbitrator(), reaction_intervals=0)
+
+    def test_reset(self):
+        sw = SoftwareArbitrator(SCMPKIArbitrator(), reaction_intervals=9)
+        sw.pick([view(0, mpki_ino=20.0)], interval_index=0)
+        sw.reset()
+        assert sw._decided_at is None
+
+    def test_coarser_reaction_loses_throughput(self):
+        result = software_arbiter.run(n_mixes=2)
+        stps = [r["stp"] for r in result["rows"]]
+        assert stps[0] > stps[-1]
+
+
+class TestMultithreadedMirage:
+    def _run(self, broadcast, name="hmmer", n=4):
+        config = ClusterConfig(n_consumers=n, n_producers=1, mirage=True)
+        return MultithreadedMirage(
+            config, analytic_model(name), broadcast=broadcast).run()
+
+    def test_requires_mirage_consumers(self):
+        config = ClusterConfig(n_consumers=4, n_producers=1,
+                               mirage=False)
+        with pytest.raises(ValueError):
+            MultithreadedMirage(config, analytic_model("hmmer"))
+
+    def test_all_threads_complete(self):
+        result = self._run(broadcast=True)
+        assert result.n_threads == 4
+        assert all(0 < s <= 1.0 for s in result.thread_speedups)
+
+    def test_broadcast_reduces_ooo_time(self):
+        with_bc = self._run(broadcast=True)
+        without = self._run(broadcast=False)
+        assert with_bc.ooo_active_fraction < without.ooo_active_fraction
+
+    def test_broadcast_keeps_throughput(self):
+        with_bc = self._run(broadcast=True)
+        without = self._run(broadcast=False)
+        assert with_bc.stp >= without.stp - 0.03
+
+    def test_experiment_driver(self):
+        result = multithreaded.run(n_threads=4)
+        for row in result["rows"]:
+            assert row["ooo_broadcast"] <= row["ooo_private"] + 0.02
+            assert row["stp_broadcast"] >= row["stp_private"] - 0.05

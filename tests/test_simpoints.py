@@ -1,0 +1,80 @@
+"""Tests for the SimPoint-style phase analysis."""
+
+import itertools
+
+import pytest
+
+from repro.workloads import make_benchmark
+from repro.workloads.simpoints import (
+    basic_block_vectors,
+    find_simpoints,
+    pick_simpoint,
+)
+
+
+class TestBBV:
+    def test_window_counts_sum_to_window_size(self):
+        bench = make_benchmark("hmmer", seed=3)
+        matrix, _pcs = basic_block_vectors(
+            bench.stream(), window_size=5_000, max_windows=4)
+        assert matrix.shape[0] == 4
+        assert matrix.sum(axis=1).tolist() == [5_000.0] * 4
+
+    def test_blocks_are_pc_identified(self):
+        bench = make_benchmark("gcc", seed=3)
+        matrix, pcs = basic_block_vectors(
+            bench.stream(), window_size=4_000, max_windows=3)
+        assert matrix.shape[1] == len(pcs)
+        assert len(set(pcs)) == len(pcs)
+
+    def test_short_stream_yields_no_windows(self):
+        bench = make_benchmark("hmmer", seed=3)
+        stream = itertools.islice(bench.stream(), 100)
+        matrix, _ = basic_block_vectors(stream, window_size=5_000)
+        assert matrix.shape[0] == 0
+
+
+class TestSimPoints:
+    def test_weights_sum_to_one(self):
+        bench = make_benchmark("bzip2", seed=3)
+        sps = find_simpoints(bench.stream(), window_size=5_000,
+                             max_windows=30, k=4)
+        assert sps
+        assert sum(s.weight for s in sps) == pytest.approx(1.0)
+
+    def test_deterministic(self):
+        bench = make_benchmark("bzip2", seed=3)
+        a = find_simpoints(bench.stream(), window_size=5_000,
+                           max_windows=20, k=3)
+        b = find_simpoints(bench.stream(), window_size=5_000,
+                           max_windows=20, k=3)
+        assert a == b
+
+    def test_phased_benchmark_yields_multiple_clusters(self):
+        # bzip2 has 6 distinct phases; the windows must not all land
+        # in one cluster.
+        bench = make_benchmark("bzip2", seed=3)
+        sps = find_simpoints(bench.stream(), window_size=10_000,
+                             max_windows=40, k=5)
+        assert len(sps) >= 2
+
+    def test_pick_returns_heaviest(self):
+        bench = make_benchmark("gcc", seed=3)
+        sps = find_simpoints(bench.stream(), window_size=5_000,
+                             max_windows=20, k=3)
+        top = pick_simpoint(bench.stream(), window_size=5_000,
+                            max_windows=20, k=3)
+        assert top.weight == max(s.weight for s in sps)
+
+    def test_pick_raises_on_tiny_stream(self):
+        bench = make_benchmark("gcc", seed=3)
+        with pytest.raises(ValueError):
+            pick_simpoint(itertools.islice(bench.stream(), 50),
+                          window_size=5_000)
+
+    def test_representative_window_in_range(self):
+        bench = make_benchmark("hmmer", seed=3)
+        top = pick_simpoint(bench.stream(), window_size=5_000,
+                            max_windows=12, k=3)
+        assert 0 <= top.window_index < 12
+        assert top.start_instruction == top.window_index * 5_000

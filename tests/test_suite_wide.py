@@ -1,0 +1,55 @@
+"""Suite-wide parametrized sanity checks: every benchmark, every
+arbitrator, every experiment driver behaves."""
+
+import itertools
+
+import pytest
+
+from repro.experiments.common import ARBITRATORS
+from repro.workloads import ALL_BENCHMARKS, get_profile, make_benchmark
+
+
+@pytest.mark.parametrize("name", ALL_BENCHMARKS)
+class TestEveryBenchmark:
+    def test_stream_generates(self, name):
+        bench = make_benchmark(name, seed=0)
+        insns = list(itertools.islice(bench.stream(), 2_000))
+        assert len(insns) == 2_000
+        assert all(i.pc % 4 == 0 for i in insns)
+
+    def test_traces_exist(self, name):
+        bench = make_benchmark(name, seed=0)
+        insns = itertools.islice(bench.stream(), 4_000)
+        assert any(i.is_backward_branch for i in insns)
+
+    def test_profile_sanity(self, name):
+        prof = get_profile(name)
+        assert 0.0 <= prof.target_memoizable <= 1.0
+        assert 0.0 < prof.target_ipc_ooo <= 3.0
+        assert 0.0 <= prof.schedule_volatility <= 1.0
+        assert prof.body_len >= 8
+        assert 0.0 <= prof.mem_frac <= 0.7
+
+    def test_analytic_model_builds(self, name):
+        from repro.characterize import analytic_model
+        model = analytic_model(name)
+        assert all(p.ipc_ooo > 0 for p in model.phases)
+        assert all(0 <= p.memoizable <= 1 for p in model.phases)
+
+
+@pytest.mark.parametrize("arb_name", sorted(ARBITRATORS))
+class TestEveryArbitrator:
+    def test_runs_a_small_mix(self, arb_name):
+        from repro.experiments.common import run_mix
+        from repro.workloads import standard_mixes
+        mix = standard_mixes(4, seed=99)[0]
+        result = run_mix(mix, arb_name)
+        assert result.intervals > 0
+        assert len(result.speedups) == 4
+        assert 0.0 <= result.ooo_active_fraction <= 1.0
+
+    def test_fresh_instances_are_independent(self, arb_name):
+        a = ARBITRATORS[arb_name]()
+        b = ARBITRATORS[arb_name]()
+        assert a is not b
+        assert a.name == b.name

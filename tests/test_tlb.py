@@ -1,0 +1,61 @@
+"""Unit tests for the TLB model."""
+
+import pytest
+
+from repro.memory import TLB
+
+
+class TestTLB:
+    def test_cold_miss_then_hit(self):
+        tlb = TLB(entries=4, walk_latency=20)
+        assert tlb.access(0x8000) == 20
+        assert tlb.access(0x8000) == 0
+
+    def test_same_page_shares_translation(self):
+        tlb = TLB(entries=4, walk_latency=20)
+        tlb.access(0x8000)
+        assert tlb.access(0x8FFF) == 0      # same 4 KB page
+        assert tlb.access(0x9000) == 20     # next page
+
+    def test_lru_replacement(self):
+        tlb = TLB(entries=2, walk_latency=20)
+        tlb.access(0x1000)
+        tlb.access(0x2000)
+        tlb.access(0x1000)                  # page 1 most recent
+        tlb.access(0x3000)                  # evicts page 2
+        assert tlb.access(0x1000) == 0
+        assert tlb.access(0x2000) == 20
+
+    def test_stats(self):
+        tlb = TLB(entries=4)
+        tlb.access(0x1000)
+        tlb.access(0x1000)
+        assert tlb.stats.accesses == 2
+        assert tlb.stats.misses == 1
+        assert tlb.stats.miss_rate == pytest.approx(0.5)
+
+    def test_flush(self):
+        tlb = TLB(entries=4)
+        tlb.access(0x1000)
+        tlb.access(0x2000)
+        assert tlb.flush() == 2
+        assert tlb.resident == 0
+        assert tlb.access(0x1000) > 0
+
+    def test_rejects_zero_entries(self):
+        with pytest.raises(ValueError):
+            TLB(entries=0)
+
+    def test_capacity_bound(self):
+        tlb = TLB(entries=8)
+        for page in range(100):
+            tlb.access(page << 12)
+        assert tlb.resident == 8
+
+    def test_large_footprint_thrashes(self):
+        """More hot pages than entries -> sustained misses (mcf-like)."""
+        tlb = TLB(entries=4)
+        for _ in range(3):
+            for page in range(8):
+                tlb.access(page << 12)
+        assert tlb.stats.miss_rate > 0.9
