@@ -1,6 +1,11 @@
-"""Command-line entry point: ``mirage <experiment> [--quick]``.
+"""Command-line entry point: ``mirage <experiment> [options]``.
 
 Runs one experiment driver (or ``all``) and prints its tables.
+``mirage list`` shows every registered experiment.  Sweep-style
+drivers honour ``--jobs N`` (process fan-out) and cache their per-unit
+results under ``~/.cache/mirage/`` (``--cache-dir`` to relocate,
+``--no-cache`` to disable); serial, parallel, and cached runs produce
+identical tables.
 """
 
 from __future__ import annotations
@@ -9,7 +14,17 @@ import argparse
 import sys
 import time
 
-from repro.experiments import EXPERIMENTS
+from repro.experiments import EXPERIMENTS, ExperimentParams
+
+
+def _print_listing() -> None:
+    width = max(len(name) for name in EXPERIMENTS)
+    fig_width = max(len(e.figure) for e in EXPERIMENTS.values())
+    for exp in EXPERIMENTS.values():
+        print(f"{exp.name:<{width}}  {exp.figure:<{fig_width}}  "
+              f"{exp.title}")
+    print(f"{'all':<{width}}  {'':<{fig_width}}  "
+          f"run every experiment above")
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -21,13 +36,28 @@ def main(argv: list[str] | None = None) -> int:
         ),
     )
     parser.add_argument(
-        "experiment",
-        choices=[*EXPERIMENTS, "all"],
-        help="which table/figure to regenerate",
+        "experiment", nargs="?",
+        help="experiment name (see 'mirage list'), or 'all'",
+    )
+    parser.add_argument(
+        "--list", action="store_true",
+        help="print each experiment's name, paper figure, and title",
     )
     parser.add_argument(
         "--quick", action="store_true",
         help="smaller workloads for a fast smoke run",
+    )
+    parser.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="worker processes for sweep experiments (default: 1)",
+    )
+    parser.add_argument(
+        "--cache-dir", metavar="DIR",
+        help="result-cache location (default: ~/.cache/mirage)",
+    )
+    parser.add_argument(
+        "--no-cache", action="store_true",
+        help="neither read nor write the on-disk result cache",
     )
     parser.add_argument(
         "--export", metavar="DIR",
@@ -35,13 +65,33 @@ def main(argv: list[str] | None = None) -> int:
     )
     args = parser.parse_args(argv)
 
+    if args.list or args.experiment == "list":
+        _print_listing()
+        return 0
+    if args.experiment is None:
+        parser.error("an experiment name (or 'all' / 'list') is required")
+    if args.experiment != "all" and args.experiment not in EXPERIMENTS:
+        known = ", ".join([*EXPERIMENTS, "all"])
+        parser.error(
+            f"unknown experiment {args.experiment!r} — "
+            f"choose from: {known} (or run 'mirage list')")
+    if args.jobs < 1:
+        parser.error("--jobs must be >= 1")
+
     names = list(EXPERIMENTS) if args.experiment == "all" else [
         args.experiment]
     for name in names:
-        module = EXPERIMENTS[name]
+        exp = EXPERIMENTS[name]
+        params = ExperimentParams(
+            quick=args.quick,
+            jobs=args.jobs,
+            use_cache=not args.no_cache,
+            cache_dir=args.cache_dir,
+        )
         print(f"=== {name} ===")
         start = time.time()
-        module.main(quick=args.quick)
+        result = exp.run(params)
+        exp.print_table(result)
         if args.export:
             from pathlib import Path
 
@@ -49,8 +99,10 @@ def main(argv: list[str] | None = None) -> int:
 
             out_dir = Path(args.export)
             out_dir.mkdir(parents=True, exist_ok=True)
-            to_json(module.run(), out_dir / f"{name}.json")
+            to_json(result, out_dir / f"{name}.json")
             print(f"[exported {out_dir / (name + '.json')}]")
+        if exp.last_runner is not None and exp.last_runner.stats.total_units:
+            print(f"[runner] {exp.last_runner.stats.summary()}")
         print(f"--- {name} done in {time.time() - start:.1f}s ---\n")
     return 0
 

@@ -1,10 +1,18 @@
 """Experiment drivers: one module per paper table/figure.
 
-Each module exposes ``run(...) -> dict`` returning the figure's rows or
-series, plus a ``main()`` that prints them; ``python -m repro <name>``
-dispatches here.  The benchmark harness under ``benchmarks/`` calls the
-same ``run`` functions, so the printed tables and the recorded numbers
-always agree.
+Each driver module exposes a pure ``run(...) -> dict`` returning the
+figure's rows or series, plus a ``print_table(result)`` that renders
+them; the :class:`~repro.experiments.registry.Experiment` objects in
+:data:`EXPERIMENTS` bundle the pair with metadata and the uniform
+:class:`~repro.experiments.registry.ExperimentParams` knobs (``quick``,
+``n_mixes``, ``seed``, ``jobs``, caching).  ``python -m repro <name>``
+and the ``mirage`` CLI dispatch here.  The benchmark harness under
+``benchmarks/`` calls the same ``run`` functions, so the printed tables
+and the recorded numbers always agree.
+
+Sweep-style drivers accept a ``runner=`` (see :mod:`repro.runner`) and
+fan their per-mix simulations out over worker processes with on-disk
+result caching; serial, parallel, and cached runs are bit-identical.
 """
 
 from repro.experiments import (
@@ -28,29 +36,50 @@ from repro.experiments import (
     headline,
     table1,
 )
+from repro.experiments.registry import Experiment, ExperimentParams
 
-EXPERIMENTS = {
-    "table1": table1,
-    "fig1": fig1_core_characteristics,
-    "fig2": fig2_memoization,
-    "fig3": fig3_interval_tradeoff,
-    "fig5": fig5_bzip2_timeline,
-    "fig6": fig6_area,
-    "fig7": fig7_throughput,
-    "fig8": fig8_energy,
-    "fig9": fig9_power,
-    "fig10": fig10_case_study,
-    "fig11": fig11_categories,
-    "fig12": fig12_fair_share,
-    "fig13": fig13_fairness,
-    "fig14": fig14_area_neutral,
-    "fig15": fig15_migration,
-    "headline": headline,
+#: name -> (title, paper figure, driver module)
+_DEFINITIONS = [
+    ("table1", "HPD/LPD benchmark classification", "Table 1", table1),
+    ("fig1", "InO vs OoO core characteristics", "Figure 1",
+     fig1_core_characteristics),
+    ("fig2", "Oracle memoization benefits", "Figure 2",
+     fig2_memoization),
+    ("fig3", "Switching-interval trade-off", "Figure 3b",
+     fig3_interval_tradeoff),
+    ("fig5", "bzip2 schedule-spike timeline", "Figure 5",
+     fig5_bzip2_timeline),
+    ("fig6", "CMP area vs cluster size", "Figure 6", fig6_area),
+    ("fig7", "System throughput vs cluster size", "Figure 7",
+     fig7_throughput),
+    ("fig8", "Energy vs cluster size", "Figure 8", fig8_energy),
+    ("fig9", "Power breakdown and OoO utilization", "Figures 9a/9b",
+     fig9_power),
+    ("fig10", "Four-app case study timeline", "Figure 10",
+     fig10_case_study),
+    ("fig11", "Benefits by benchmark category", "Figure 11",
+     fig11_categories),
+    ("fig12", "Per-app OoO share fairness", "Figure 12",
+     fig12_fair_share),
+    ("fig13", "Fair schedulers compared", "Figure 13", fig13_fairness),
+    ("fig14", "Area-neutral 8:1 vs 5:3", "Figure 14",
+     fig14_area_neutral),
+    ("fig15", "Migration cost and frequency", "Figure 15",
+     fig15_migration),
+    ("headline", "The abstract's 8:1 claims", "Abstract", headline),
     # Extensions beyond the paper's figures (sections 3.2.4 and 6).
-    "software-arbiter": software_arbiter,
-    "multithreaded": multithreaded,
+    ("software-arbiter", "HW vs SW arbitration granularity",
+     "Section 3.2.4", software_arbiter),
+    ("multithreaded", "Schedule broadcast to sibling threads",
+     "Section 6", multithreaded),
     # Methodology: cross-check the two simulation tiers.
-    "tier-validation": tier_validation,
+    ("tier-validation", "Detailed vs interval tier agreement",
+     "Section 4", tier_validation),
+]
+
+EXPERIMENTS: dict[str, Experiment] = {
+    name: Experiment(name, title, figure, module)
+    for name, title, figure, module in _DEFINITIONS
 }
 
-__all__ = ["EXPERIMENTS"]
+__all__ = ["EXPERIMENTS", "Experiment", "ExperimentParams"]

@@ -2,40 +2,13 @@
 
 from __future__ import annotations
 
-from functools import lru_cache
-
-from repro.arbiter import (
-    Arbitrator,
-    FairArbitrator,
-    MaxSTPArbitrator,
-    SCMPKIArbitrator,
-    SCMPKIFairArbitrator,
-    SCMPKIMaxSTPArbitrator,
-)
-from repro.characterize import AppModel, analytic_model
+from repro.characterize import AppModel
 from repro.cmp import ClusterConfig, TimeScale, SIM_SCALE
 from repro.cmp.system import CMPResult, CMPSystem, run_homo
-from repro.workloads import standard_mixes
+# The arbitrator tables and the memoized per-benchmark model live with
+# the work-unit executor so drivers and pool workers share one source.
+from repro.runner.units import ARBITRATORS, TRADITIONAL, app_model
 from repro.workloads.mixes import WorkloadMix
-
-#: Arbitrator factories by display name (fresh instance per run: the
-#: fair arbitrators carry round-robin state).
-ARBITRATORS: dict[str, type] = {
-    "SC-MPKI": SCMPKIArbitrator,
-    "SC-MPKI+maxSTP": SCMPKIMaxSTPArbitrator,
-    "maxSTP": MaxSTPArbitrator,
-    "Fair": FairArbitrator,
-    "SC-MPKI-fair": SCMPKIFairArbitrator,
-}
-
-#: Which architectures each arbitrator runs on (paper section 5.2):
-#: maxSTP and Fair model traditional (no-memoization) Het-CMPs.
-TRADITIONAL = {"maxSTP", "Fair"}
-
-
-@lru_cache(maxsize=256)
-def app_model(name: str) -> AppModel:
-    return analytic_model(name)
 
 
 def models_for(mix: WorkloadMix) -> list[AppModel]:

@@ -51,8 +51,7 @@ def run(*, intervals: int = 500) -> dict:
     return out
 
 
-def main(quick: bool = False) -> None:
-    result = run(intervals=200 if quick else 500)
+def print_table(result: dict) -> None:
     for arb, data in result.items():
         print(f"\n{arb}: STP {data['stp']:.3f}, "
               f"OoO active {data['ooo_active']:.0%}")

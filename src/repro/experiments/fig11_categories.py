@@ -13,12 +13,8 @@ Mirage works best on heterogeneous mixes.
 
 from __future__ import annotations
 
-from repro.experiments.common import (
-    format_table,
-    homo_baselines,
-    mean,
-    run_mix,
-)
+from repro.experiments.common import format_table, mean
+from repro.runner import SweepRunner, cmp_unit, homo_unit
 from repro.workloads import standard_mixes
 from repro.workloads.mixes import MIX_HPD, MIX_LPD, MIX_RANDOM
 
@@ -27,28 +23,39 @@ CATEGORIES = (MIX_HPD, MIX_LPD, MIX_RANDOM)
 
 
 def run(*, n_apps: int = 8, mixes_per_category: int = 4,
-        seed: int = 2017) -> dict:
+        seed: int = 2017, runner: SweepRunner | None = None) -> dict:
+    runner = runner or SweepRunner()
     all_mixes = standard_mixes(
         n_apps, seed=seed,
         n_single_category=2 * mixes_per_category,
         n_random=mixes_per_category,
     )
+    per_category = {
+        category: [m for m in all_mixes
+                   if m.category == category][:mixes_per_category]
+        for category in CATEGORIES
+    }
+    units = []
+    for category in CATEGORIES:
+        for mix in per_category[category]:
+            units.append(homo_unit(mix, "ooo"))
+            units.append(homo_unit(mix, "ino"))
+            units.extend(cmp_unit(mix, name) for name in ARBITRATOR_NAMES)
+    results = iter(runner.map(units))
     out = {}
     for category in CATEGORIES:
-        mixes = [m for m in all_mixes
-                 if m.category == category][:mixes_per_category]
         stats = {
             name: {"stp": [], "util": [], "energy": []}
             for name in ARBITRATOR_NAMES
         }
         homo_ino_stp, homo_ino_energy = [], []
-        for mix in mixes:
-            homo_ooo, homo_ino = homo_baselines(mix)
+        for _mix in per_category[category]:
+            homo_ooo, homo_ino = next(results), next(results)
             base = max(1e-9, homo_ooo.energy_pj)
             homo_ino_stp.append(homo_ino.stp)
             homo_ino_energy.append(homo_ino.energy_pj / base)
             for name in ARBITRATOR_NAMES:
-                res = run_mix(mix, name)
+                res = next(results)
                 stats[name]["stp"].append(res.stp)
                 stats[name]["util"].append(res.ooo_active_fraction)
                 stats[name]["energy"].append(res.energy_pj / base)
@@ -66,8 +73,7 @@ def run(*, n_apps: int = 8, mixes_per_category: int = 4,
     return out
 
 
-def main(quick: bool = False) -> None:
-    result = run(mixes_per_category=2 if quick else 4)
+def print_table(result: dict) -> None:
     for metric, title in [("stp", "speedup vs Homo-OoO"),
                           ("util", "OoO utilization"),
                           ("energy", "energy vs Homo-OoO")]:

@@ -12,20 +12,24 @@ powers the OoO down at their turn.
 
 from __future__ import annotations
 
-from repro.experiments.common import format_table, run_mix
+from repro.experiments.common import format_table
 from repro.metrics import fairness_index
+from repro.runner import SweepRunner, cmp_unit
 from repro.workloads import standard_mixes
 
 ARBITRATOR_NAMES = ("maxSTP", "SC-MPKI", "Fair", "SC-MPKI-fair")
 
 
-def run(*, n_apps: int = 8, seed: int = 2017, mix=None) -> dict:
+def run(*, n_apps: int = 8, seed: int = 2017, mix=None,
+        runner: SweepRunner | None = None) -> dict:
+    runner = runner or SweepRunner()
     if mix is None:
         mix = [m for m in standard_mixes(n_apps, seed=seed)
                if m.category == "Random"][0]
+    results = runner.map(
+        [cmp_unit(mix, name) for name in ARBITRATOR_NAMES])
     out = {"mix": list(mix), "arbitrators": {}}
-    for name in ARBITRATOR_NAMES:
-        res = run_mix(mix, name)
+    for name, res in zip(ARBITRATOR_NAMES, results):
         shares = res.ooo_share_per_app
         out["arbitrators"][name] = {
             "shares": shares,
@@ -36,8 +40,7 @@ def run(*, n_apps: int = 8, seed: int = 2017, mix=None) -> dict:
     return out
 
 
-def main(quick: bool = False) -> None:
-    result = run()
+def print_table(result: dict) -> None:
     apps = result["mix"]
     print("Figure 12: per-app share of OoO-active time (8:1)")
     print(format_table(

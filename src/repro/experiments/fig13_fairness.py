@@ -12,33 +12,38 @@ Fair's performance at far lower OoO utilization and energy.
 
 from __future__ import annotations
 
-from repro.experiments.common import (
-    format_table,
-    homo_baselines,
-    mean,
-    run_mix,
-)
+from repro.experiments.common import format_table, mean
+from repro.runner import SweepRunner, cmp_unit, homo_unit
 from repro.workloads import standard_mixes
 
 N_VALUES = (4, 8, 12, 16)
 ARBITRATOR_NAMES = ("Fair", "SC-MPKI-fair")
 
 
-def run(*, n_values=N_VALUES, n_mixes: int = 6, seed: int = 2017) -> dict:
+def run(*, n_values=N_VALUES, n_mixes: int = 6, seed: int = 2017,
+        runner: SweepRunner | None = None) -> dict:
+    runner = runner or SweepRunner()
+    per_n = {n: standard_mixes(n, seed=seed)[:n_mixes] for n in n_values}
+    units = []
+    for n in n_values:
+        for mix in per_n[n]:
+            units.append(homo_unit(mix, "ooo"))
+            units.append(homo_unit(mix, "ino"))
+            units.extend(cmp_unit(mix, name) for name in ARBITRATOR_NAMES)
+    results = iter(runner.map(units))
     rows = []
     for n in n_values:
-        mixes = standard_mixes(n, seed=seed)[:n_mixes]
         acc = {
             name: {"stp": [], "util": [], "energy": []}
             for name in ARBITRATOR_NAMES
         }
         homo_ino_stp = []
-        for mix in mixes:
-            homo_ooo, homo_ino = homo_baselines(mix)
+        for _mix in per_n[n]:
+            homo_ooo, homo_ino = next(results), next(results)
             base = max(1e-9, homo_ooo.energy_pj)
             homo_ino_stp.append(homo_ino.stp)
             for name in ARBITRATOR_NAMES:
-                res = run_mix(mix, name)
+                res = next(results)
                 acc[name]["stp"].append(res.stp)
                 acc[name]["util"].append(res.ooo_active_fraction)
                 acc[name]["energy"].append(res.energy_pj / base)
@@ -53,8 +58,7 @@ def run(*, n_values=N_VALUES, n_mixes: int = 6, seed: int = 2017) -> dict:
     return {"rows": rows}
 
 
-def main(quick: bool = False) -> None:
-    result = run(n_mixes=2 if quick else 6)
+def print_table(result: dict) -> None:
     for metric, title in [("stp", "performance"), ("util", "utilization"),
                           ("energy", "energy")]:
         print(f"\nFigure 13 ({title} vs Homo-OoO):")

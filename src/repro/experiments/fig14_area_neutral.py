@@ -12,17 +12,17 @@ slower and ~20 % hungrier than the 8:1 Mirage configuration.
 
 from __future__ import annotations
 
-from repro.characterize import analytic_model
-from repro.cmp import ClusterConfig, SIM_SCALE, TimeScale
-from repro.cmp.system import CMPSystem, run_homo
-from repro.arbiter import MaxSTPArbitrator, SCMPKIArbitrator
+from repro.cmp import SIM_SCALE, TimeScale
 from repro.energy import cmp_area
 from repro.energy.model import AREA_UNITS
-from repro.experiments.common import format_table, mean, models_for
+from repro.experiments.common import format_table, mean
+from repro.runner import SweepRunner, cmp_unit, homo_unit
 from repro.workloads import standard_mixes
 
 
-def run(*, n_mixes: int = 6, seed: int = 2017) -> dict:
+def run(*, n_mixes: int = 6, seed: int = 2017,
+        runner: SweepRunner | None = None) -> dict:
+    runner = runner or SweepRunner()
     mixes = standard_mixes(8, seed=seed)[:n_mixes]
     free_migration = TimeScale(
         interval_cycles=SIM_SCALE.interval_cycles,
@@ -30,25 +30,22 @@ def run(*, n_mixes: int = 6, seed: int = 2017) -> dict:
         app_instruction_budget=SIM_SCALE.app_instruction_budget,
         drain_cycles=1, l1_warmup_cycles=1, sc_transfer_cycles=1,
     )
+    units = []
+    for mix in mixes:
+        units.append(homo_unit(mix, "ooo", n_consumers=8))
+        units.append(cmp_unit(mix, "SC-MPKI", n_consumers=8,
+                              n_producers=1, mirage=True))
+        units.append(cmp_unit(mix, "maxSTP", n_consumers=5,
+                              n_producers=3, mirage=False,
+                              scale=free_migration))
+    results = iter(runner.map(units))
     acc = {
         "mirage_8_1": {"stp": [], "util": [], "energy": []},
         "trad_5_3": {"stp": [], "util": [], "energy": []},
     }
-    for mix in mixes:
-        models = models_for(mix)
-        base = max(1e-9, run_homo(
-            models, kind="ooo",
-            config=ClusterConfig(n_consumers=8, n_producers=1),
-        ).energy_pj)
-        mirage = CMPSystem(
-            ClusterConfig(n_consumers=8, n_producers=1, mirage=True),
-            models, SCMPKIArbitrator(),
-        ).run()
-        trad = CMPSystem(
-            ClusterConfig(n_consumers=5, n_producers=3, mirage=False,
-                          scale=free_migration),
-            models, MaxSTPArbitrator(),
-        ).run()
+    for _mix in mixes:
+        base = max(1e-9, next(results).energy_pj)
+        mirage, trad = next(results), next(results)
         for key, res in [("mirage_8_1", mirage), ("trad_5_3", trad)]:
             acc[key]["stp"].append(res.stp)
             acc[key]["util"].append(res.ooo_active_fraction)
@@ -66,8 +63,7 @@ def run(*, n_mixes: int = 6, seed: int = 2017) -> dict:
     }
 
 
-def main(quick: bool = False) -> None:
-    result = run(n_mixes=2 if quick else 6)
+def print_table(result: dict) -> None:
     print("Figure 14: area-neutral 8:1 Mirage vs 5:3 traditional")
     print(format_table(
         ["config", "performance", "utilization", "energy", "area"],

@@ -13,15 +13,18 @@ InO cores.
 
 from __future__ import annotations
 
-from repro.experiments.common import format_table, mean, run_mix
+from repro.experiments.common import format_table, mean
+from repro.runner import SweepRunner, cmp_unit
 from repro.workloads import standard_mixes
 
 
-def run(*, n_apps: int = 8, n_mixes: int = 12, seed: int = 2017) -> dict:
+def run(*, n_apps: int = 8, n_mixes: int = 12, seed: int = 2017,
+        runner: SweepRunner | None = None) -> dict:
+    runner = runner or SweepRunner()
     mixes = standard_mixes(n_apps, seed=seed)[:n_mixes]
+    results = runner.map([cmp_unit(mix, "SC-MPKI") for mix in mixes])
     rows = []
-    for mix in mixes:
-        res = run_mix(mix, "SC-MPKI")
+    for mix, res in zip(mixes, results):
         total = max(1e-9, res.total_cycles * n_apps)
         costs = res.migration_cost_cycles
         rows.append({
@@ -50,8 +53,7 @@ def run(*, n_apps: int = 8, n_mixes: int = 12, seed: int = 2017) -> dict:
             "by_category": by_cat}
 
 
-def main(quick: bool = False) -> None:
-    result = run(n_mixes=4 if quick else 12)
+def print_table(result: dict) -> None:
     print("Figure 15: migration cost per mix (fractions of exec cycles)")
     print(format_table(
         ["mix", "category", "SC transfer", "L1+drain", "mig/interval"],

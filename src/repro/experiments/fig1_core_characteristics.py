@@ -56,8 +56,7 @@ def run(*, instructions: int = 30_000,
     return {"benchmarks": per_bench, "groups": groups}
 
 
-def main(quick: bool = False) -> None:
-    result = run(instructions=10_000 if quick else 30_000)
+def print_table(result: dict) -> None:
     print("Figure 1: InO relative to OoO (category means)")
     print(format_table(
         ["group", "performance", "power", "energy", "area"],

@@ -62,8 +62,7 @@ def run(*, instructions: int = 40_000,
     return {"benchmarks": per_bench, "groups": groups}
 
 
-def main(quick: bool = False) -> None:
-    result = run(instructions=12_000 if quick else 40_000)
+def print_table(result: dict) -> None:
     print("Figure 2: oracle memoization (infinite SC)")
     print(format_table(
         ["group", "memoized", "OinO perf vs OoO", "plain InO vs OoO"],

@@ -22,6 +22,7 @@ from __future__ import annotations
 from repro.characterize import analytic_model
 from repro.cmp import PAPER_SCALE
 from repro.experiments.common import format_table, mean
+from repro.runner import SweepRunner, call_unit
 from repro.workloads import ALL_BENCHMARKS
 
 #: Interval lengths swept, in paper-scale cycles.
@@ -68,19 +69,26 @@ def memoizable_fraction(interval_cycles: int,
     return mean(fractions)
 
 
-def run(*, intervals=INTERVALS) -> dict:
+def run(*, intervals=INTERVALS,
+        runner: SweepRunner | None = None) -> dict:
+    runner = runner or SweepRunner()
+    fractions = runner.map([
+        call_unit(
+            "repro.experiments.fig3_interval_tradeoff:memoizable_fraction",
+            n)
+        for n in intervals
+    ])
     rows = []
-    for n in intervals:
+    for n, fraction in zip(intervals, fractions):
         rows.append({
             "interval_cycles": n,
             "perf_vs_no_switching": 1.0 - migration_overhead(n),
-            "memoizable_fraction": memoizable_fraction(n),
+            "memoizable_fraction": fraction,
         })
     return {"rows": rows, "chosen_interval": PAPER_SCALE.interval_cycles}
 
 
-def main(quick: bool = False) -> None:
-    result = run()
+def print_table(result: dict) -> None:
     print("Figure 3b: interval-length trade-off (paper-scale cycles)")
     print(format_table(
         ["interval", "perf vs no-switch", "memoizable fraction"],

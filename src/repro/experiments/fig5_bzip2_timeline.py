@@ -77,8 +77,7 @@ def spikes_align_with_phase_changes(result: dict,
     return covered / len(change_points)
 
 
-def main(quick: bool = False) -> None:
-    result = run(intervals=200 if quick else 500)
+def print_table(result: dict) -> None:
     print("Figure 5: bzip2 timeline (every 10th interval)")
     print(format_table(
         ["interval", "ipc", "dSC-MPKI", "on OoO", "phase"],

@@ -31,8 +31,7 @@ def run(*, n_values=N_VALUES) -> dict:
     return {"rows": rows}
 
 
-def main(quick: bool = False) -> None:
-    result = run()
+def print_table(result: dict) -> None:
     print("Figure 6: area relative to n-OoO Homo-CMP")
     print(format_table(
         ["n", "Homo-InO (n:0)", "Mirage (n:1)", "Traditional (n:1)"],

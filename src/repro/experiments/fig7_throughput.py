@@ -13,36 +13,39 @@ saturates.
 
 from __future__ import annotations
 
-from repro.experiments.common import (
-    format_table,
-    homo_baselines,
-    mean,
-    run_mix,
-)
+from repro.experiments.common import format_table, mean
+from repro.runner import SweepRunner, cmp_unit, homo_unit
 from repro.workloads import standard_mixes
 
 N_VALUES = (4, 8, 12, 16)
 ARBITRATOR_NAMES = ("SC-MPKI", "SC-MPKI+maxSTP", "maxSTP")
 
 
-def run(*, n_values=N_VALUES, n_mixes: int = 8, seed: int = 2017) -> dict:
+def run(*, n_values=N_VALUES, n_mixes: int = 8, seed: int = 2017,
+        runner: SweepRunner | None = None) -> dict:
     """Sweep cluster sizes; returns STP relative to Homo-OoO.
 
     ``n_mixes`` caps how many of the 32 standard mixes are simulated
     per configuration (the paper uses all 32; 8 keeps the default
     bench quick while preserving the shape).
     """
+    runner = runner or SweepRunner()
+    per_n = {n: standard_mixes(n, seed=seed)[:n_mixes] for n in n_values}
+    units = []
+    for n in n_values:
+        for mix in per_n[n]:
+            units.append(homo_unit(mix, "ino"))
+            units.extend(cmp_unit(mix, name) for name in ARBITRATOR_NAMES)
+    results = iter(runner.map(units))
     rows = []
     for n in n_values:
-        mixes = standard_mixes(n, seed=seed)[:n_mixes]
         stp = {name: [] for name in ARBITRATOR_NAMES}
         stp["Homo-InO"] = []
         ooo_active = {name: [] for name in ARBITRATOR_NAMES}
-        for mix in mixes:
-            _homo_ooo, homo_ino = homo_baselines(mix)
-            stp["Homo-InO"].append(homo_ino.stp)
+        for _mix in per_n[n]:
+            stp["Homo-InO"].append(next(results).stp)
             for name in ARBITRATOR_NAMES:
-                res = run_mix(mix, name)
+                res = next(results)
                 stp[name].append(res.stp)
                 ooo_active[name].append(res.ooo_active_fraction)
         rows.append({
@@ -53,8 +56,7 @@ def run(*, n_values=N_VALUES, n_mixes: int = 8, seed: int = 2017) -> dict:
     return {"rows": rows}
 
 
-def main(quick: bool = False) -> None:
-    result = run(n_mixes=3 if quick else 8)
+def print_table(result: dict) -> None:
     print("Figure 7: STP relative to Homo-OoO")
     print(format_table(
         ["n", "Homo-InO", "SC-MPKI", "SC-MPKI+maxSTP", "maxSTP"],

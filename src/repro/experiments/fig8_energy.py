@@ -12,37 +12,40 @@ OoO is amortized over more consumers.
 
 from __future__ import annotations
 
-from repro.experiments.common import (
-    format_table,
-    homo_baselines,
-    mean,
-    run_mix,
-)
+from repro.experiments.common import format_table, mean
+from repro.runner import SweepRunner, cmp_unit, homo_unit
 from repro.workloads import standard_mixes
 
 N_VALUES = (4, 8, 12, 16)
 ARBITRATOR_NAMES = ("SC-MPKI", "SC-MPKI+maxSTP", "maxSTP")
 
 
-def run(*, n_values=N_VALUES, n_mixes: int = 8, seed: int = 2017) -> dict:
+def run(*, n_values=N_VALUES, n_mixes: int = 8, seed: int = 2017,
+        runner: SweepRunner | None = None) -> dict:
+    runner = runner or SweepRunner()
+    per_n = {n: standard_mixes(n, seed=seed)[:n_mixes] for n in n_values}
+    units = []
+    for n in n_values:
+        for mix in per_n[n]:
+            units.append(homo_unit(mix, "ooo"))
+            units.append(homo_unit(mix, "ino"))
+            units.extend(cmp_unit(mix, name) for name in ARBITRATOR_NAMES)
+    results = iter(runner.map(units))
     rows = []
     for n in n_values:
-        mixes = standard_mixes(n, seed=seed)[:n_mixes]
         rel = {name: [] for name in ARBITRATOR_NAMES}
         rel["Homo-InO"] = []
-        for mix in mixes:
-            homo_ooo, homo_ino = homo_baselines(mix)
+        for _mix in per_n[n]:
+            homo_ooo, homo_ino = next(results), next(results)
             base = max(1e-9, homo_ooo.energy_pj)
             rel["Homo-InO"].append(homo_ino.energy_pj / base)
             for name in ARBITRATOR_NAMES:
-                res = run_mix(mix, name)
-                rel[name].append(res.energy_pj / base)
+                rel[name].append(next(results).energy_pj / base)
         rows.append({"n": n, "energy": {k: mean(v) for k, v in rel.items()}})
     return {"rows": rows}
 
 
-def main(quick: bool = False) -> None:
-    result = run(n_mixes=3 if quick else 8)
+def print_table(result: dict) -> None:
     print("Figure 8: energy relative to Homo-OoO")
     print(format_table(
         ["n", "Homo-InO", "SC-MPKI", "SC-MPKI+maxSTP", "maxSTP"],

@@ -18,8 +18,9 @@ from __future__ import annotations
 
 from repro.cores import InOrderCore, OinOCore, OutOfOrderCore
 from repro.energy import CoreEnergyModel
-from repro.experiments.common import format_table, mean, run_mix
+from repro.experiments.common import format_table, mean
 from repro.memory import MemoryHierarchy
+from repro.runner import SweepRunner, call_unit, cmp_unit
 from repro.schedule import ScheduleCache, ScheduleRecorder
 from repro.workloads import make_benchmark, standard_mixes
 
@@ -70,30 +71,44 @@ def power_breakdown(*, instructions: int = 30_000, seed: int = 1) -> dict:
 
 
 def ooo_utilization(*, n_values=N_VALUES, n_mixes: int = 6,
-                    seed: int = 2017) -> list[dict]:
+                    seed: int = 2017,
+                    runner: SweepRunner | None = None) -> list[dict]:
+    runner = runner or SweepRunner()
+    per_n = {n: standard_mixes(n, seed=seed)[:n_mixes] for n in n_values}
+    units = [
+        cmp_unit(mix, name)
+        for n in n_values
+        for mix in per_n[n]
+        for name in ARBITRATOR_NAMES
+    ]
+    results = iter(runner.map(units))
     rows = []
     for n in n_values:
-        mixes = standard_mixes(n, seed=seed)[:n_mixes]
         active = {name: [] for name in ARBITRATOR_NAMES}
-        for mix in mixes:
+        for _mix in per_n[n]:
             for name in ARBITRATOR_NAMES:
-                active[name].append(
-                    run_mix(mix, name).ooo_active_fraction)
+                active[name].append(next(results).ooo_active_fraction)
         rows.append({"n": n,
                      "active": {k: mean(v) for k, v in active.items()}})
     return rows
 
 
-def run(*, instructions: int = 30_000, n_mixes: int = 6) -> dict:
+def run(*, instructions: int = 30_000, n_mixes: int = 6,
+        runner: SweepRunner | None = None) -> dict:
+    runner = runner or SweepRunner()
+    # The detailed-tier breakdown is one expensive indivisible unit;
+    # running it through the runner makes it cacheable alongside the
+    # utilization sweep.
+    breakdown = runner.run(call_unit(
+        "repro.experiments.fig9_power:power_breakdown",
+        instructions=instructions))
     return {
-        "breakdown": power_breakdown(instructions=instructions),
-        "utilization": ooo_utilization(n_mixes=n_mixes),
+        "breakdown": breakdown,
+        "utilization": ooo_utilization(n_mixes=n_mixes, runner=runner),
     }
 
 
-def main(quick: bool = False) -> None:
-    result = run(instructions=10_000 if quick else 30_000,
-                 n_mixes=2 if quick else 6)
+def print_table(result: dict) -> None:
     bd = result["breakdown"]
     print("Figure 9a: average power (pJ/cycle) per core kind")
     print(format_table(

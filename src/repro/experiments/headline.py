@@ -10,32 +10,39 @@ from __future__ import annotations
 
 from repro.energy import cmp_area
 from repro.energy.model import AREA_UNITS
-from repro.experiments.common import (
-    format_table,
-    homo_baselines,
-    mean,
-    run_mix,
-)
+from repro.experiments.common import format_table, mean
+from repro.runner import SweepRunner, cmp_unit, homo_unit
 from repro.workloads import standard_mixes
 
 
-def run(*, n_mixes: int = 10, seed: int = 2017) -> dict:
+def run(*, n_mixes: int = 10, seed: int = 2017,
+        runner: SweepRunner | None = None) -> dict:
+    runner = runner or SweepRunner()
     mixes = standard_mixes(8, seed=seed)[:n_mixes]
-    stp_mirage, stp_trad, energy_rel, util = [], [], [], []
+    scaling_mixes = {
+        n: standard_mixes(n, seed=seed)[:max(2, n_mixes // 3)]
+        for n in (8, 12, 16)
+    }
+    units = []
     for mix in mixes:
-        homo_ooo, _ = homo_baselines(mix)
-        res = run_mix(mix, "SC-MPKI")
-        trad = run_mix(mix, "maxSTP")
+        units.append(homo_unit(mix, "ooo"))
+        units.append(cmp_unit(mix, "SC-MPKI"))
+        units.append(cmp_unit(mix, "maxSTP"))
+    for n, n_mix in scaling_mixes.items():
+        units.extend(cmp_unit(m, "SC-MPKI") for m in n_mix)
+    results = iter(runner.map(units))
+    stp_mirage, stp_trad, energy_rel, util = [], [], [], []
+    for _mix in mixes:
+        homo_ooo, res, trad = next(results), next(results), next(results)
         stp_mirage.append(res.stp)
         stp_trad.append(trad.stp)
         energy_rel.append(res.energy_pj / max(1e-9, homo_ooo.energy_pj))
         util.append(res.ooo_active_fraction)
     # Scaling limit: OoO utilization at 12:1 and 16:1.
-    util_by_n = {}
-    for n in (8, 12, 16):
-        n_mix = standard_mixes(n, seed=seed)[:max(2, n_mixes // 3)]
-        util_by_n[n] = mean(
-            run_mix(m, "SC-MPKI").ooo_active_fraction for m in n_mix)
+    util_by_n = {
+        n: mean(next(results).ooo_active_fraction for _ in n_mix)
+        for n, n_mix in scaling_mixes.items()
+    }
     return {
         "performance_vs_homo_ooo": mean(stp_mirage),
         "gain_vs_traditional": mean(stp_mirage) / max(1e-9,
@@ -48,8 +55,8 @@ def run(*, n_mixes: int = 10, seed: int = 2017) -> dict:
     }
 
 
-def main(quick: bool = False) -> None:
-    r = run(n_mixes=4 if quick else 10)
+def print_table(result: dict) -> None:
+    r = result
     print("Headline (8 InO : 1 OoO, SC-MPKI arbitrator)")
     print(format_table(["claim", "paper", "measured"], [
         ["performance vs 8-OoO Homo-CMP", "84%",

@@ -39,8 +39,7 @@ def run(*, n_threads: int = 8) -> dict:
     return {"rows": rows, "n_threads": n_threads}
 
 
-def main(quick: bool = False) -> None:
-    result = run(n_threads=4 if quick else 8)
+def print_table(result: dict) -> None:
     print(f"Multithreaded Mirage ({result['n_threads']} homogeneous "
           f"threads, SC-MPKI)")
     print(format_table(

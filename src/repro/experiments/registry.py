@@ -1,0 +1,140 @@
+"""The Experiment registry: one uniform API over all 19 drivers.
+
+Each driver module keeps its pure ``run(**kwargs) -> dict`` and a
+``print_table(result)`` renderer; an :class:`Experiment` wraps the pair
+with a name, a human title, the paper figure it reproduces, and the
+one place the ``--quick`` knob is mapped to driver-specific sizes
+(:data:`QUICK_OVERRIDES`).  All drivers accept the same
+:class:`ExperimentParams`, which also carries the sweep-runner knobs
+(``jobs``, ``use_cache``, ``cache_dir``); parameters a driver does not
+understand are simply not forwarded.
+
+Back-compat: ``EXPERIMENTS[name].run(n_mixes=4)`` and
+``EXPERIMENTS[name].main(quick=True)`` keep working exactly as they
+did when the registry held bare modules.
+"""
+
+from __future__ import annotations
+
+import inspect
+from dataclasses import dataclass
+from pathlib import Path
+from types import ModuleType
+from typing import Any, Mapping
+
+from repro.runner import ResultCache, SweepRunner
+
+#: The single source of truth for what ``--quick`` means per driver:
+#: the keyword overrides applied to ``run()`` when ``params.quick``.
+#: Drivers no longer hard-code their own ``3 if quick else 8``.
+QUICK_OVERRIDES: dict[str, dict[str, Any]] = {
+    "table1": {"instructions": 10_000},
+    "fig1": {"instructions": 10_000},
+    "fig2": {"instructions": 12_000},
+    "fig3": {},
+    "fig5": {"intervals": 200},
+    "fig6": {},
+    "fig7": {"n_mixes": 3},
+    "fig8": {"n_mixes": 3},
+    "fig9": {"instructions": 10_000, "n_mixes": 2},
+    "fig10": {"intervals": 200},
+    "fig11": {"mixes_per_category": 2},
+    "fig12": {},
+    "fig13": {"n_mixes": 2},
+    "fig14": {"n_mixes": 2},
+    "fig15": {"n_mixes": 4},
+    "headline": {"n_mixes": 4},
+    "software-arbiter": {"n_mixes": 2},
+    "multithreaded": {"n_threads": 4},
+    "tier-validation": {"n_slices": 10},
+}
+
+
+@dataclass
+class ExperimentParams:
+    """Uniform knobs accepted by every experiment.
+
+    Attributes:
+        quick: smaller workloads for a fast smoke run; the per-driver
+            mapping lives in :data:`QUICK_OVERRIDES`.
+        n_mixes: cap on simulated mixes per configuration, where the
+            driver sweeps mixes (ignored elsewhere).
+        seed: mix-selection seed, where the driver takes one.
+        jobs: worker processes for sweep drivers; 1 = serial.
+        use_cache: consult/populate the on-disk result cache.
+        cache_dir: cache location (default ``~/.cache/mirage``).
+    """
+
+    quick: bool = False
+    n_mixes: int | None = None
+    seed: int | None = None
+    jobs: int = 1
+    use_cache: bool = False
+    cache_dir: str | Path | None = None
+
+    def make_runner(self, experiment: str) -> SweepRunner:
+        cache = ResultCache(self.cache_dir) if self.use_cache else None
+        return SweepRunner(jobs=self.jobs, cache=cache,
+                           experiment=experiment)
+
+
+class Experiment:
+    """One paper table/figure: metadata plus run/print entry points."""
+
+    def __init__(self, name: str, title: str, figure: str,
+                 module: ModuleType,
+                 quick_overrides: Mapping[str, Any] | None = None):
+        self.name = name
+        self.title = title
+        self.figure = figure
+        self.module = module
+        self.quick_overrides = dict(
+            QUICK_OVERRIDES.get(name, {}) if quick_overrides is None
+            else quick_overrides)
+        #: The runner built for the most recent :meth:`run`, for
+        #: callers that want its cache/timing stats (the CLI does).
+        self.last_runner: SweepRunner | None = None
+
+    def __repr__(self) -> str:
+        return f"Experiment({self.name!r}, {self.figure!r})"
+
+    @property
+    def accepts(self) -> frozenset[str]:
+        """Keyword names the driver's ``run()`` understands."""
+        return frozenset(
+            inspect.signature(self.module.run).parameters)
+
+    # ------------------------------------------------------------------
+    def run(self, params: ExperimentParams | None = None, /,
+            **overrides) -> dict:
+        """Run the driver under *params*; *overrides* go straight to
+        the module's ``run()`` (the historical calling convention)."""
+        params = ExperimentParams() if params is None else params
+        quick = params.quick
+        if "quick" not in self.accepts:
+            quick = bool(overrides.pop("quick", quick))
+        kwargs: dict[str, Any] = {}
+        if quick:
+            kwargs.update(self.quick_overrides)
+        if params.n_mixes is not None and "n_mixes" in self.accepts:
+            kwargs["n_mixes"] = params.n_mixes
+        if params.seed is not None and "seed" in self.accepts:
+            kwargs["seed"] = params.seed
+        if "runner" in self.accepts and "runner" not in overrides:
+            self.last_runner = params.make_runner(self.name)
+            kwargs["runner"] = self.last_runner
+        else:
+            self.last_runner = None
+        kwargs.update(overrides)
+        return self.module.run(**kwargs)
+
+    def print_table(self, result: dict) -> None:
+        """Render *result* the way the figure is shown in the paper."""
+        self.module.print_table(result)
+
+    def main(self, quick: bool = False,
+             params: ExperimentParams | None = None) -> None:
+        """Run and print in one call (the pre-registry driver API)."""
+        if params is None:
+            params = ExperimentParams(quick=quick)
+        self.print_table(self.run(params))

@@ -9,12 +9,8 @@ reaction granularity of the SC-MPKI arbitrator on 8:1 Mirage clusters.
 
 from __future__ import annotations
 
-from repro.arbiter import SCMPKIArbitrator
-from repro.arbiter.software import SoftwareArbitrator
-from repro.characterize import analytic_model
-from repro.cmp import ClusterConfig
-from repro.cmp.system import CMPSystem
 from repro.experiments.common import format_table, mean
+from repro.runner import SweepRunner, cmp_unit
 from repro.workloads import standard_mixes
 
 #: Reaction granularities in hardware intervals (1 = the hardware
@@ -22,22 +18,22 @@ from repro.workloads import standard_mixes
 GRANULARITIES = (1, 5, 20, 50)
 
 
-def run(*, n_mixes: int = 6, seed: int = 2017) -> dict:
+def run(*, n_mixes: int = 6, seed: int = 2017,
+        runner: SweepRunner | None = None) -> dict:
+    runner = runner or SweepRunner()
     mixes = standard_mixes(8, seed=seed)[:n_mixes]
+    units = [
+        cmp_unit(mix, "SC-MPKI", n_consumers=8, mirage=True,
+                 reaction_intervals=granularity)
+        for granularity in GRANULARITIES
+        for mix in mixes
+    ]
+    results = iter(runner.map(units))
     rows = []
     for granularity in GRANULARITIES:
         stp, util = [], []
-        for mix in mixes:
-            models = [analytic_model(b) for b in mix]
-            if granularity == 1:
-                arb = SCMPKIArbitrator()
-            else:
-                arb = SoftwareArbitrator(
-                    SCMPKIArbitrator(), reaction_intervals=granularity)
-            res = CMPSystem(
-                ClusterConfig(n_consumers=8, n_producers=1, mirage=True),
-                models, arb,
-            ).run()
+        for _mix in mixes:
+            res = next(results)
             stp.append(res.stp)
             util.append(res.ooo_active_fraction)
         rows.append({
@@ -48,8 +44,7 @@ def run(*, n_mixes: int = 6, seed: int = 2017) -> dict:
     return {"rows": rows}
 
 
-def main(quick: bool = False) -> None:
-    result = run(n_mixes=2 if quick else 6)
+def print_table(result: dict) -> None:
     print("Hardware vs software arbitration (SC-MPKI on 8:1 Mirage)")
     print(format_table(
         ["reaction (intervals)", "STP", "OoO active"],

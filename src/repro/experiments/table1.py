@@ -59,8 +59,7 @@ def run(*, instructions: int = 30_000,
     }
 
 
-def main(quick: bool = False) -> None:
-    result = run(instructions=10_000 if quick else 30_000)
+def print_table(result: dict) -> None:
     print(format_table(
         ["benchmark", "paper", "ratio", "measured", "agrees"],
         [[r["benchmark"], r["paper_category"], r["ratio"],

@@ -15,19 +15,17 @@ comparing the qualitative outcomes both tiers must agree on:
 from __future__ import annotations
 
 from repro.arbiter import SCMPKIArbitrator
-from repro.characterize import analytic_model
-from repro.cmp import ClusterConfig
 from repro.cmp.detailed import DetailedMirageCluster
-from repro.cmp.system import CMPSystem
 from repro.experiments.common import format_table
+from repro.runner import SweepRunner, call_unit, cmp_unit
 from repro.workloads import make_benchmark
 
 #: A memoizable app paired with an unmemoizable one.
 PAIR = ("bzip2", "astar")
 
 
-def run(*, n_slices: int = 16, slice_instructions: int = 8_000) -> dict:
-    # --- detailed tier ------------------------------------------------
+def detailed_tier(n_slices: int, slice_instructions: int) -> dict:
+    """The cycle-level half, as one JSON-pure work unit."""
     benches = [
         make_benchmark(name, seed=5, base_addr=(i + 1) << 34)
         for i, name in enumerate(PAIR)
@@ -36,23 +34,29 @@ def run(*, n_slices: int = 16, slice_instructions: int = 8_000) -> dict:
         benches, SCMPKIArbitrator(),
         slice_instructions=slice_instructions,
     ).run(n_slices=n_slices)
-    det_share = dict(zip(detailed.app_names, detailed.ooo_share))
+    return {
+        "ooo_share": dict(zip(detailed.app_names, detailed.ooo_share)),
+        "stp": detailed.stp,
+        "sc_bytes_transferred": detailed.sc_bytes_transferred,
+    }
 
-    # --- interval tier --------------------------------------------------
-    models = [analytic_model(name) for name in PAIR]
-    config = ClusterConfig(n_consumers=2, n_producers=1, mirage=True)
-    system = CMPSystem(config, models, SCMPKIArbitrator())
-    interval = system.run(max_intervals=400)
+
+def run(*, n_slices: int = 16, slice_instructions: int = 8_000,
+        runner: SweepRunner | None = None) -> dict:
+    runner = runner or SweepRunner()
+    det, interval = runner.map([
+        call_unit("repro.experiments.tier_validation:detailed_tier",
+                  n_slices, slice_instructions),
+        cmp_unit(PAIR, "SC-MPKI", n_consumers=2, mirage=True,
+                 max_intervals=400),
+    ])
+    det_share = det["ooo_share"]
     int_share = dict(zip(interval.app_names, interval.ooo_share_per_app))
 
     memo, unmemo = PAIR
     return {
         "pair": PAIR,
-        "detailed": {
-            "ooo_share": det_share,
-            "stp": detailed.stp,
-            "sc_bytes_transferred": detailed.sc_bytes_transferred,
-        },
+        "detailed": det,
         "interval": {
             "ooo_share": int_share,
             "stp": interval.stp,
@@ -63,13 +67,12 @@ def run(*, n_slices: int = 16, slice_instructions: int = 8_000) -> dict:
             "interval_prefers_memoizable":
                 int_share[memo] > int_share[unmemo],
             "schedules_transferred":
-                detailed.sc_bytes_transferred > 0,
+                det["sc_bytes_transferred"] > 0,
         },
     }
 
 
-def main(quick: bool = False) -> None:
-    result = run(n_slices=10 if quick else 16)
+def print_table(result: dict) -> None:
     memo, unmemo = result["pair"]
     print(f"Tier validation on ({memo}, {unmemo}):")
     print(format_table(

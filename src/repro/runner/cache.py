@@ -1,0 +1,123 @@
+"""Deterministic on-disk result cache for sweep work units.
+
+Results live under ``~/.cache/mirage/`` (override with
+``MIRAGE_CACHE_DIR`` or ``--cache-dir``), one JSON file per work unit,
+keyed by the SHA-256 of ``(experiment, unit fields, package version)``.
+Streams are deterministic per ``(benchmark, seed)``, so a cached
+:class:`~repro.cmp.system.CMPResult` is bit-identical to a re-run:
+floats survive the JSON round-trip exactly (``repr`` shortest-float),
+and ``"call"`` payloads are JSON-normalised at execution time.
+
+Bumping :data:`repro.__version__` invalidates every entry, so stale
+results can never leak across simulator changes.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Any
+
+import repro
+from repro.cmp.system import CMPResult, IntervalSample
+from repro.runner.units import WorkUnit
+
+#: Sentinel distinguishing "not cached" from a legitimately-None payload.
+MISS = object()
+
+
+def default_cache_dir() -> Path:
+    """``$MIRAGE_CACHE_DIR``, else ``$XDG_CACHE_HOME/mirage``, else
+    ``~/.cache/mirage``."""
+    env = os.environ.get("MIRAGE_CACHE_DIR")
+    if env:
+        return Path(env)
+    xdg = os.environ.get("XDG_CACHE_HOME")
+    base = Path(xdg) if xdg else Path.home() / ".cache"
+    return base / "mirage"
+
+
+def encode_payload(value: Any) -> dict:
+    """JSON-safe envelope for a unit result."""
+    if isinstance(value, CMPResult):
+        return {"type": "CMPResult", "value": dataclasses.asdict(value)}
+    return {"type": "json", "value": value}
+
+
+def decode_payload(envelope: dict) -> Any:
+    if envelope["type"] == "CMPResult":
+        fields = dict(envelope["value"])
+        fields["history"] = [
+            IntervalSample(**sample)
+            for sample in fields.get("history", [])
+        ]
+        return CMPResult(**fields)
+    return envelope["value"]
+
+
+class ResultCache:
+    """Maps ``(experiment, WorkUnit)`` to a stored unit result."""
+
+    def __init__(self, cache_dir: str | Path | None = None, *,
+                 version: str | None = None):
+        self.root = Path(cache_dir) if cache_dir else default_cache_dir()
+        self.version = version or repro.__version__
+
+    # -- keying --------------------------------------------------------
+    def key_material(self, experiment: str, unit: WorkUnit) -> str:
+        return json.dumps(
+            {
+                "experiment": experiment,
+                "unit": dataclasses.asdict(unit),
+                "version": self.version,
+            },
+            sort_keys=True, separators=(",", ":"), default=str,
+        )
+
+    def path_for(self, experiment: str, unit: WorkUnit) -> Path:
+        digest = hashlib.sha256(
+            self.key_material(experiment, unit).encode()).hexdigest()
+        return (self.root / f"v{self.version}" / (experiment or "adhoc")
+                / f"{digest[:32]}.json")
+
+    # -- access --------------------------------------------------------
+    def get(self, experiment: str, unit: WorkUnit) -> Any:
+        """The stored payload, or :data:`MISS`."""
+        path = self.path_for(experiment, unit)
+        try:
+            entry = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError):
+            return MISS
+        # Guard against (vanishingly unlikely) digest collisions and
+        # hand-edited files.
+        if entry.get("key") != self.key_material(experiment, unit):
+            return MISS
+        try:
+            return decode_payload(entry["payload"])
+        except (KeyError, TypeError):
+            return MISS
+
+    def put(self, experiment: str, unit: WorkUnit, payload: Any) -> Path:
+        path = self.path_for(experiment, unit)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        entry = {
+            "key": self.key_material(experiment, unit),
+            "payload": encode_payload(payload),
+        }
+        # Atomic publish: concurrent `mirage` runs may share the dir.
+        fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w") as handle:
+                json.dump(entry, handle)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        return path

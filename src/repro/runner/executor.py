@@ -1,0 +1,145 @@
+"""The sweep runner: cached, optionally-parallel work-unit execution.
+
+:class:`SweepRunner.map` preserves unit order, so drivers aggregate
+results exactly as their old serial loops did — the serial and parallel
+paths produce bit-identical tables.  Units already in the cache are
+returned without executing; the rest fan out over a
+``ProcessPoolExecutor`` when ``jobs > 1`` (falling back to the serial
+path for pickling-hostile units or when worker processes cannot be
+spawned) and are written back to the cache as they complete.
+"""
+
+from __future__ import annotations
+
+import pickle
+import time
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from dataclasses import dataclass, field
+from typing import Any, Sequence
+
+from repro.runner import units as units_mod
+from repro.runner.cache import MISS, ResultCache
+from repro.runner.units import WorkUnit
+
+
+@dataclass
+class RunnerStats:
+    """Timing and cache instrumentation for one runner's lifetime."""
+
+    jobs: int = 1
+    cache_hits: int = 0
+    cache_misses: int = 0
+    units_run: int = 0
+    unit_seconds: list[float] = field(default_factory=list)
+    wall_seconds: float = 0.0
+    mode: str = "serial"                 #: "serial" | "parallel"
+
+    @property
+    def total_units(self) -> int:
+        return self.cache_hits + self.cache_misses
+
+    def summary(self) -> str:
+        """One-line report for the CLI."""
+        parts = [f"{self.total_units} units"]
+        if self.units_run:
+            mean = sum(self.unit_seconds) / len(self.unit_seconds)
+            parts.append(
+                f"{self.units_run} executed ({self.mode}, jobs={self.jobs},"
+                f" {mean:.2f}s mean {max(self.unit_seconds):.2f}s max)")
+        if self.cache_hits:
+            parts.append(f"{self.cache_hits} from cache")
+        parts.append(f"{self.wall_seconds:.1f}s wall")
+        return "; ".join(parts)
+
+
+def _picklable(obj: Any) -> bool:
+    try:
+        pickle.dumps(obj)
+        return True
+    except Exception:
+        return False
+
+
+class SweepRunner:
+    """Executes :class:`WorkUnit` batches with caching and fan-out.
+
+    Args:
+        jobs: worker processes; 1 (the default) stays in-process.
+        cache: a :class:`ResultCache`, or None to always execute.
+        experiment: name folded into every cache key, so identical
+            units cached under different experiments don't collide
+            with a future schema change of either driver.
+    """
+
+    def __init__(self, *, jobs: int = 1, cache: ResultCache | None = None,
+                 experiment: str = ""):
+        if jobs < 1:
+            raise ValueError("jobs must be >= 1")
+        self.jobs = jobs
+        self.cache = cache
+        self.experiment = experiment
+        self.stats = RunnerStats(jobs=jobs)
+
+    # ------------------------------------------------------------------
+    def map(self, units: Sequence[WorkUnit]) -> list[Any]:
+        """Results for *units*, in order."""
+        start = time.perf_counter()
+        units = list(units)
+        results: list[Any] = [None] * len(units)
+        pending: list[int] = []
+        for i, unit in enumerate(units):
+            hit = (self.cache.get(self.experiment, unit)
+                   if self.cache is not None else MISS)
+            if hit is not MISS:
+                results[i] = hit
+                self.stats.cache_hits += 1
+            else:
+                pending.append(i)
+                self.stats.cache_misses += 1
+        if pending:
+            self._execute(units, pending, results)
+            if self.cache is not None:
+                for i in pending:
+                    self.cache.put(self.experiment, units[i], results[i])
+        self.stats.wall_seconds += time.perf_counter() - start
+        return results
+
+    def run(self, unit: WorkUnit) -> Any:
+        """Convenience for a single unit."""
+        return self.map([unit])[0]
+
+    # ------------------------------------------------------------------
+    def _execute(self, units, pending, results) -> None:
+        want_pool = (self.jobs > 1 and len(pending) > 1
+                     and all(_picklable(units[i]) for i in pending))
+        if want_pool:
+            try:
+                self._execute_parallel(units, pending, results)
+                return
+            except (OSError, PermissionError):
+                pass  # no subprocess support here: fall through
+        for i in pending:
+            payload, seconds = units_mod.timed_execute(units[i])
+            results[i] = payload
+            self.stats.units_run += 1
+            self.stats.unit_seconds.append(seconds)
+
+    def _execute_parallel(self, units, pending, results) -> None:
+        workers = min(self.jobs, len(pending))
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            futures = {
+                pool.submit(units_mod.timed_execute, units[i]): i
+                for i in pending
+            }
+            self.stats.mode = "parallel"
+            for future in as_completed(futures):
+                payload, seconds = future.result()
+                results[futures[future]] = payload
+                self.stats.units_run += 1
+                self.stats.unit_seconds.append(seconds)
+
+
+def run_units(units: Sequence[WorkUnit],
+              runner: SweepRunner | None = None) -> list[Any]:
+    """Map *units* through *runner*, or serially when none is given."""
+    return (runner or SweepRunner()).map(units)

@@ -1,0 +1,205 @@
+"""Work units: the picklable jobs the sweep runner executes.
+
+A :class:`WorkUnit` captures everything needed to reproduce one
+simulation — benchmark names, arbitrator, cluster shape, time scale —
+as plain immutable data, so it can cross a process boundary and serve
+as a deterministic cache key.  :func:`execute_unit` rebuilds the
+simulation from that description and runs it; because workload streams
+and the interval simulator are pure functions of their seeds, executing
+the same unit in any process yields bit-identical results.
+
+Three kinds of unit cover the experiment drivers:
+
+* ``"cmp"`` — an arbitrated Mirage/Het-CMP cluster (``run_mix`` and
+  friends), returning a :class:`~repro.cmp.system.CMPResult`;
+* ``"homo"`` — a homogeneous OoO or InO baseline (``run_homo``);
+* ``"call"`` — any module-level function named by dotted path, for
+  drivers whose per-unit work is not a CMP simulation (Figure 3's
+  analytic sweep, the tier-validation halves).  Its return value must
+  be JSON-pure and is normalised through a JSON round-trip so cached
+  and fresh runs are indistinguishable.
+"""
+
+from __future__ import annotations
+
+import importlib
+import json
+import time
+from dataclasses import dataclass
+from functools import lru_cache
+from typing import Any
+
+from repro.arbiter import (
+    FairArbitrator,
+    MaxSTPArbitrator,
+    SCMPKIArbitrator,
+    SCMPKIFairArbitrator,
+    SCMPKIMaxSTPArbitrator,
+)
+from repro.arbiter.software import SoftwareArbitrator
+from repro.characterize import AppModel, analytic_model
+from repro.cmp import ClusterConfig, SIM_SCALE, TimeScale
+from repro.cmp.system import CMPResult, CMPSystem, run_homo
+
+#: Arbitrator factories by display name (fresh instance per run: the
+#: fair arbitrators carry round-robin state).
+ARBITRATORS: dict[str, type] = {
+    "SC-MPKI": SCMPKIArbitrator,
+    "SC-MPKI+maxSTP": SCMPKIMaxSTPArbitrator,
+    "maxSTP": MaxSTPArbitrator,
+    "Fair": FairArbitrator,
+    "SC-MPKI-fair": SCMPKIFairArbitrator,
+}
+
+#: Which architectures each arbitrator runs on (paper section 5.2):
+#: maxSTP and Fair model traditional (no-memoization) Het-CMPs.
+TRADITIONAL = {"maxSTP", "Fair"}
+
+
+@lru_cache(maxsize=256)
+def app_model(name: str) -> AppModel:
+    return analytic_model(name)
+
+
+@dataclass(frozen=True)
+class WorkUnit:
+    """One independent, picklable job of a sweep."""
+
+    kind: str                              #: "cmp" | "homo" | "call"
+    benchmarks: tuple[str, ...] = ()
+    arbitrator: str | None = None          #: cmp units
+    homo_kind: str | None = None           #: homo units: "ooo" | "ino"
+    n_consumers: int | None = None         #: default: len(benchmarks)
+    n_producers: int = 1
+    mirage: bool | None = None             #: default: by TRADITIONAL
+    scale: tuple[int, ...] | None = None   #: TimeScale fields; None=SIM
+    max_intervals: int | None = None
+    reaction_intervals: int = 1            #: >1 wraps SoftwareArbitrator
+    record_history: bool = False
+    target: str = ""                       #: call units: "pkg.mod:func"
+    args: tuple = ()
+    kwargs: tuple = ()                     #: sorted (key, value) pairs
+
+
+def _benchmarks(mix) -> tuple[str, ...]:
+    return tuple(mix)
+
+
+def _scale_tuple(scale: TimeScale | None) -> tuple[int, ...] | None:
+    if scale is None or scale == SIM_SCALE:
+        return None
+    return (
+        scale.interval_cycles,
+        scale.sample_period_cycles,
+        scale.app_instruction_budget,
+        scale.drain_cycles,
+        scale.l1_warmup_cycles,
+        scale.sc_transfer_cycles,
+    )
+
+
+def cmp_unit(
+    mix,
+    arbitrator: str,
+    *,
+    n_consumers: int | None = None,
+    n_producers: int = 1,
+    mirage: bool | None = None,
+    scale: TimeScale | None = None,
+    max_intervals: int | None = None,
+    reaction_intervals: int = 1,
+    record_history: bool = False,
+) -> WorkUnit:
+    """An arbitrated cluster run over *mix* (iterable of names)."""
+    return WorkUnit(
+        kind="cmp",
+        benchmarks=_benchmarks(mix),
+        arbitrator=arbitrator,
+        n_consumers=n_consumers,
+        n_producers=n_producers,
+        mirage=mirage,
+        scale=_scale_tuple(scale),
+        max_intervals=max_intervals,
+        reaction_intervals=reaction_intervals,
+        record_history=record_history,
+    )
+
+
+def homo_unit(
+    mix,
+    kind: str,
+    *,
+    n_consumers: int | None = None,
+    n_producers: int = 1,
+    scale: TimeScale | None = None,
+) -> WorkUnit:
+    """A homogeneous ``"ooo"`` / ``"ino"`` baseline over *mix*."""
+    return WorkUnit(
+        kind="homo",
+        benchmarks=_benchmarks(mix),
+        homo_kind=kind,
+        n_consumers=n_consumers,
+        n_producers=n_producers,
+        scale=_scale_tuple(scale),
+    )
+
+
+def call_unit(target: str, *args, **kwargs) -> WorkUnit:
+    """A plain function call: ``target`` is ``"pkg.module:function"``.
+
+    Arguments and the return value must be JSON-representable; results
+    are JSON-normalised so cached and fresh runs agree exactly.
+    """
+    return WorkUnit(
+        kind="call", target=target, args=tuple(args),
+        kwargs=tuple(sorted(kwargs.items())),
+    )
+
+
+# ----------------------------------------------------------------------
+# Execution
+# ----------------------------------------------------------------------
+def execute_unit(unit: WorkUnit) -> Any:
+    """Run one unit; pure given the unit's fields."""
+    if unit.kind == "call":
+        mod_name, _, fn_name = unit.target.partition(":")
+        fn = getattr(importlib.import_module(mod_name), fn_name)
+        value = fn(*unit.args, **dict(unit.kwargs))
+        # Normalise (tuples -> lists, etc.) so a cache round-trip is
+        # indistinguishable from a fresh run.
+        return json.loads(json.dumps(value))
+
+    scale = TimeScale(*unit.scale) if unit.scale else SIM_SCALE
+    models = [app_model(name) for name in unit.benchmarks]
+    n_consumers = (len(unit.benchmarks) if unit.n_consumers is None
+                   else unit.n_consumers)
+
+    if unit.kind == "homo":
+        config = ClusterConfig(
+            n_consumers=n_consumers, n_producers=unit.n_producers,
+            scale=scale)
+        return run_homo(models, kind=unit.homo_kind, config=config)
+
+    if unit.kind != "cmp":
+        raise ValueError(f"unknown unit kind {unit.kind!r}")
+    mirage = (unit.arbitrator not in TRADITIONAL if unit.mirage is None
+              else unit.mirage)
+    config = ClusterConfig(
+        n_consumers=n_consumers, n_producers=unit.n_producers,
+        mirage=mirage, scale=scale)
+    arbitrator = ARBITRATORS[unit.arbitrator]()
+    if unit.reaction_intervals > 1:
+        arbitrator = SoftwareArbitrator(
+            arbitrator, reaction_intervals=unit.reaction_intervals)
+    system = CMPSystem(config, models, arbitrator,
+                       record_history=unit.record_history)
+    if unit.max_intervals is not None:
+        return system.run(max_intervals=unit.max_intervals)
+    return system.run()
+
+
+def timed_execute(unit: WorkUnit) -> tuple[Any, float]:
+    """(result, wall seconds) — the pool's entry point."""
+    start = time.perf_counter()
+    result = execute_unit(unit)
+    return result, time.perf_counter() - start

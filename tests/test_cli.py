@@ -28,3 +28,50 @@ class TestCLI:
     def test_export_flag(self, tmp_path, capsys):
         assert main(["fig6", "--export", str(tmp_path)]) == 0
         assert (tmp_path / "fig6.json").exists()
+
+    def test_unknown_experiment_error_names_the_choices(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["fig99"])
+        err = capsys.readouterr().err
+        assert "fig7" in err and "mirage list" in err
+
+    def test_list_command(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for name in EXPERIMENTS:
+            assert name in out
+        assert "Figure 7" in out
+        assert EXPERIMENTS["fig7"].title in out
+
+    def test_list_flag(self, capsys):
+        assert main(["--list"]) == 0
+        assert "tier-validation" in capsys.readouterr().out
+
+    def test_no_experiment_is_an_error(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_jobs_and_cache_flags(self, tmp_path, capsys):
+        cache = tmp_path / "cache"
+        argv = ["fig12", "--jobs", "2", "--cache-dir", str(cache)]
+        assert main(argv) == 0
+        cold = capsys.readouterr().out
+        assert "[runner]" in cold
+        assert any(cache.rglob("*.json"))
+        assert main(argv) == 0
+        warm = capsys.readouterr().out
+        assert "from cache" in warm
+        # The tables (everything but the instrumentation) agree.
+        strip = lambda s: [l for l in s.splitlines()
+                           if not l.startswith(("[runner]", "---"))]
+        assert strip(cold) == strip(warm)
+
+    def test_no_cache_flag_writes_nothing(self, tmp_path, capsys):
+        cache = tmp_path / "cache"
+        assert main(["fig12", "--no-cache",
+                     "--cache-dir", str(cache)]) == 0
+        assert not cache.exists()
+
+    def test_rejects_bad_jobs(self):
+        with pytest.raises(SystemExit):
+            main(["fig6", "--jobs", "0"])

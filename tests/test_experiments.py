@@ -32,9 +32,18 @@ class TestRegistry:
     def test_all_experiments_registered(self):
         # 16 paper tables/figures + 3 extension/validation drivers.
         assert len(EXPERIMENTS) == 19
-        for module in EXPERIMENTS.values():
-            assert hasattr(module, "run")
-            assert hasattr(module, "main")
+        for exp in EXPERIMENTS.values():
+            assert hasattr(exp, "run")
+            assert hasattr(exp, "main")
+            assert hasattr(exp, "print_table")
+
+    def test_quick_mapping_is_centralised(self):
+        from repro.experiments.registry import QUICK_OVERRIDES
+
+        assert set(QUICK_OVERRIDES) == set(EXPERIMENTS)
+        for name, overrides in QUICK_OVERRIDES.items():
+            unknown = set(overrides) - EXPERIMENTS[name].accepts
+            assert not unknown, (name, unknown)
 
 
 class TestTable1:
