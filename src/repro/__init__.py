@@ -16,6 +16,8 @@ Public API tour:
 * :mod:`repro.arbiter` — the five runtime arbitrators.
 * :mod:`repro.cmp` — interval-level CMP simulation.
 * :mod:`repro.energy` — McPAT-like energy/area models.
+* :mod:`repro.engine` — the phase pipeline driving the interval tier.
+* :mod:`repro.telemetry` — typed counters, trace records, sinks.
 * :mod:`repro.experiments` — one driver per paper table/figure.
 """
 
@@ -33,6 +35,7 @@ from repro.cores import InOrderCore, OinOCore, OutOfOrderCore
 from repro.energy import CoreEnergyModel, cmp_area
 from repro.memory import MemoryHierarchy
 from repro.schedule import Schedule, ScheduleCache, ScheduleRecorder, Trace
+from repro.telemetry import JSONLSink, MemorySink, Telemetry
 from repro.workloads import (
     ALL_BENCHMARKS,
     HPD_BENCHMARKS,
@@ -42,7 +45,7 @@ from repro.workloads import (
     standard_mixes,
 )
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "__version__",
@@ -62,4 +65,6 @@ __all__ = [
     "AppModel", "PhaseProfile", "analytic_model",
     # energy
     "CoreEnergyModel", "cmp_area",
+    # telemetry
+    "Telemetry", "MemorySink", "JSONLSink",
 ]

@@ -4,13 +4,13 @@ from __future__ import annotations
 
 import random
 import zlib
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.cores import InOrderCore, OinOCore, OutOfOrderCore
 from repro.memory import MemoryHierarchy
 from repro.schedule import ScheduleCache, ScheduleRecorder
 from repro.workloads.generator import SyntheticBenchmark
-from repro.workloads.profiles import BenchmarkProfile, get_profile
+from repro.workloads.profiles import get_profile
 
 #: Efficiency of replaying a memoized schedule on the OinO relative to
 #: native OoO execution of the same trace (paper: "up to 90 %").

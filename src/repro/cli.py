@@ -6,6 +6,10 @@ drivers honour ``--jobs N`` (process fan-out) and cache their per-unit
 results under ``~/.cache/mirage/`` (``--cache-dir`` to relocate,
 ``--no-cache`` to disable); serial, parallel, and cached runs produce
 identical tables.
+
+``--trace FILE`` streams the run's telemetry (see
+:mod:`repro.telemetry`) to a JSONL file; ``mirage trace FILE``
+inspects one afterwards.
 """
 
 from __future__ import annotations
@@ -13,6 +17,7 @@ from __future__ import annotations
 import argparse
 import sys
 import time
+from pathlib import Path
 
 from repro.experiments import EXPERIMENTS, ExperimentParams
 
@@ -25,6 +30,52 @@ def _print_listing() -> None:
               f"{exp.title}")
     print(f"{'all':<{width}}  {'':<{fig_width}}  "
           f"run every experiment above")
+    print(f"{'trace':<{width}}  {'':<{fig_width}}  "
+          f"inspect a JSONL telemetry trace (mirage trace FILE)")
+
+
+def _trace_command(path: str, *, app: str | None, limit: int) -> int:
+    """Summarize and tabulate a JSONL telemetry trace."""
+    from repro.experiments.common import format_table
+    from repro.telemetry import read_trace
+
+    trace_path = Path(path)
+    if not trace_path.exists():
+        print(f"mirage trace: no such file: {path}", file=sys.stderr)
+        return 1
+    events = read_trace(trace_path)
+    by_kind: dict[str, int] = {}
+    for event in events:
+        by_kind[event.kind] = by_kind.get(event.kind, 0) + 1
+    counts = ", ".join(f"{n} {k}" for k, n in sorted(by_kind.items()))
+    print(f"{path}: {len(events)} records ({counts or 'empty'})")
+
+    for event in events:
+        if event.kind == "run":
+            print(f"\nrun: {event.config} under {event.arbitrator} — "
+                  f"{event.intervals} intervals, "
+                  f"{event.total_cycles:.0f} cycles")
+            for name in sorted(event.counters):
+                print(f"  {name} = {event.counters[name]}")
+
+    intervals = [
+        e for e in events
+        if e.kind == "interval" and (app is None or e.app == app)
+    ]
+    if intervals:
+        shown = intervals[:limit]
+        print(f"\ninterval records"
+              + (f" for {app}" if app else "")
+              + (f" (first {len(shown)} of {len(intervals)})"
+                 if len(intervals) > len(shown) else f" ({len(shown)})"))
+        print(format_table(
+            ["interval", "app", "core", "ipc", "speedup", "dSC-MPKI"],
+            [[e.interval, e.app, "OoO" if e.on_ooo else "InO",
+              e.ipc, e.speedup, e.delta_sc_mpki] for e in shown],
+        ))
+    elif app is not None:
+        print(f"\nno interval records for app {app!r}")
+    return 0
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -37,7 +88,11 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument(
         "experiment", nargs="?",
-        help="experiment name (see 'mirage list'), or 'all'",
+        help="experiment name (see 'mirage list'), 'all', or 'trace'",
+    )
+    parser.add_argument(
+        "path", nargs="?",
+        help="trace file to inspect (only with 'mirage trace')",
     )
     parser.add_argument(
         "--list", action="store_true",
@@ -63,6 +118,18 @@ def main(argv: list[str] | None = None) -> int:
         "--export", metavar="DIR",
         help="also write each experiment's raw result as JSON in DIR",
     )
+    parser.add_argument(
+        "--trace", metavar="FILE",
+        help="append the run's telemetry records to FILE (JSONL)",
+    )
+    parser.add_argument(
+        "--app", metavar="NAME",
+        help="with 'mirage trace': only this application's intervals",
+    )
+    parser.add_argument(
+        "--limit", type=int, default=20, metavar="N",
+        help="with 'mirage trace': interval rows to print (default: 20)",
+    )
     args = parser.parse_args(argv)
 
     if args.list or args.experiment == "list":
@@ -70,6 +137,12 @@ def main(argv: list[str] | None = None) -> int:
         return 0
     if args.experiment is None:
         parser.error("an experiment name (or 'all' / 'list') is required")
+    if args.experiment == "trace":
+        if args.path is None:
+            parser.error("'mirage trace' needs a trace file path")
+        return _trace_command(args.path, app=args.app, limit=args.limit)
+    if args.path is not None:
+        parser.error("a file path only makes sense with 'mirage trace'")
     if args.experiment != "all" and args.experiment not in EXPERIMENTS:
         known = ", ".join([*EXPERIMENTS, "all"])
         parser.error(
@@ -77,6 +150,14 @@ def main(argv: list[str] | None = None) -> int:
             f"choose from: {known} (or run 'mirage list')")
     if args.jobs < 1:
         parser.error("--jobs must be >= 1")
+
+    if args.trace:
+        # One file per invocation: truncate now, every experiment run
+        # below appends to it in order.
+        trace_path = Path(args.trace)
+        if trace_path.parent != Path("."):
+            trace_path.parent.mkdir(parents=True, exist_ok=True)
+        trace_path.write_text("")
 
     names = list(EXPERIMENTS) if args.experiment == "all" else [
         args.experiment]
@@ -87,14 +168,13 @@ def main(argv: list[str] | None = None) -> int:
             jobs=args.jobs,
             use_cache=not args.no_cache,
             cache_dir=args.cache_dir,
+            trace=args.trace,
         )
         print(f"=== {name} ===")
         start = time.time()
         result = exp.run(params)
         exp.print_table(result)
         if args.export:
-            from pathlib import Path
-
             from repro.report import to_json
 
             out_dir = Path(args.export)
@@ -104,6 +184,10 @@ def main(argv: list[str] | None = None) -> int:
         if exp.last_runner is not None and exp.last_runner.stats.total_units:
             print(f"[runner] {exp.last_runner.stats.summary()}")
         print(f"--- {name} done in {time.time() - start:.1f}s ---\n")
+    if args.trace:
+        with open(args.trace) as handle:
+            n_records = sum(1 for line in handle if line.strip())
+        print(f"[trace] {n_records} records -> {args.trace}")
     return 0
 
 

@@ -9,7 +9,7 @@ them together preserves the trade-offs established in Figure 3b.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 
 @dataclass(frozen=True, slots=True)

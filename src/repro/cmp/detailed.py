@@ -12,19 +12,42 @@ the full mechanism.
 Time is sliced by *instructions per slice* per application (an
 approximation of the cycle-sliced hardware; fine for validation since
 arbitration decisions depend on per-slice rates, not absolute time).
+
+Both tiers emit the same :mod:`repro.telemetry` event schema —
+interval records per slice, migration records with the
+:class:`~repro.cmp.migration.MigrationCostModel` cost breakdown, and a
+run record with the merged core/SC counters — so tier-validation can
+diff them structurally.
 """
 
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field
+from dataclasses import dataclass
+from functools import lru_cache
 
 from repro.arbiter.base import AppView, Arbitrator
+from repro.cmp.config import ClusterConfig
+from repro.cmp.migration import MigrationCostModel
 from repro.cores import OinOCore, OutOfOrderCore
+from repro.engine.views import build_app_view
 from repro.frontend import BranchTargetBuffer, TournamentPredictor
 from repro.memory import MemoryHierarchy
 from repro.schedule import ScheduleCache, ScheduleRecorder
+from repro.telemetry import IntervalRecord, MigrationRecord, RunRecord, Telemetry
 from repro.workloads.generator import SyntheticBenchmark
+from repro.workloads.profiles import get_profile
+
+
+@lru_cache(maxsize=None)
+def _alone_ooo_ipc(name: str) -> float:
+    """IPC of this benchmark alone on a private OoO (reference).
+
+    Uses the calibration target: measuring here would perturb the
+    shared hierarchy.  Good enough for speedup normalization.
+    Memoized — the profile table lookup is pure and per-name constant.
+    """
+    return get_profile(name).target_ipc_ooo
 
 
 @dataclass
@@ -81,9 +104,11 @@ class DetailedMirageCluster:
         *,
         sc_capacity: int | None = 8 * 1024,
         slice_instructions: int = 8_000,
+        telemetry: Telemetry | None = None,
     ):
         self.arbitrator = arbitrator
         self.slice_instructions = slice_instructions
+        self.telemetry = telemetry or Telemetry()
         self.hier = MemoryHierarchy()
         self.producer_mem = self.hier.core_view(len(benchmarks))
         # The producer's frontend state is physical: one predictor and
@@ -100,25 +125,39 @@ class DetailedMirageCluster:
                 recorder=ScheduleRecorder(sc),
                 consumer=OinOCore(self.hier.core_view(i), sc),
             ))
+        # Cost accounting for migrations, on a private bus: the real
+        # transfer stays on the cluster's shared bus below (so L1<->L2
+        # contention is unchanged); this model prices each event with
+        # the same breakdown the interval tier reports.
+        self.migration = MigrationCostModel(ClusterConfig(
+            n_consumers=len(benchmarks),
+            n_producers=1,
+            mirage=True,
+            sc_capacity_bytes=sc_capacity or 8 * 1024,
+        ))
         self.sc_bytes_transferred = 0
         self.total_migrations = 0
 
     # ------------------------------------------------------------------
     def _views(self) -> list[AppView]:
         return [
-            AppView(
-                index=i, name=app.name, ipc_current=app.ipc_last,
+            build_app_view(
+                index=i,
+                name=app.name,
+                ipc_last=app.ipc_last,
                 ipc_ooo_last=app.ipc_ooo_last,
                 sc_mpki_ino=app.sc_mpki_ino,
                 sc_mpki_ooo=app.sc_mpki_ooo,
                 intervals_since_ooo=app.slices_since_ooo,
-                util=(app.ooo_cycles / app.cycles) if app.cycles else 0.0,
                 on_ooo=app.on_ooo,
+                t_ooo=app.ooo_cycles,
+                t_total=app.cycles,
             )
             for i, app in enumerate(self.apps)
         ]
 
     def run(self, *, n_slices: int = 20) -> DetailedResult:
+        telemetry = self.telemetry
         for k in range(n_slices):
             chosen = self.arbitrator.pick(
                 self._views(), interval_index=k, slots=1)
@@ -126,14 +165,26 @@ class DetailedMirageCluster:
             for i, app in enumerate(self.apps):
                 going_to_ooo = i == chosen_idx
                 if going_to_ooo != app.on_ooo:
-                    self._migrate(app, to_ooo=going_to_ooo)
-                self._run_slice(app)
+                    self._migrate(app, to_ooo=going_to_ooo, slice_index=k)
+                self._run_slice(app, k)
+        # Fold each app's final SC stats into the shared counter set.
+        for app in self.apps:
+            telemetry.counters.merge(
+                app.sc.stats.counters(prefix=f"sc.{app.name}."))
+        if telemetry.wants("run"):
+            telemetry.emit(RunRecord(
+                config=f"{len(self.apps)}:1-Mirage-detailed",
+                arbitrator=self.arbitrator.name,
+                intervals=n_slices,
+                total_cycles=sum(a.cycles for a in self.apps),
+                counters=dict(telemetry.counters),
+            ))
         # Reference: each benchmark alone on an OoO, same length.
         return DetailedResult(
             app_names=[a.name for a in self.apps],
             ipcs=[a.instructions / a.cycles if a.cycles else 0.0
                   for a in self.apps],
-            ipc_ooo_alone=[self._alone_ipc(a) for a in self.apps],
+            ipc_ooo_alone=[_alone_ooo_ipc(a.name) for a in self.apps],
             ooo_share=[a.ooo_cycles / a.cycles if a.cycles else 0.0
                        for a in self.apps],
             migrations=self.total_migrations,
@@ -141,7 +192,8 @@ class DetailedMirageCluster:
         )
 
     # ------------------------------------------------------------------
-    def _migrate(self, app: _DetailedApp, *, to_ooo: bool) -> None:
+    def _migrate(self, app: _DetailedApp, *, to_ooo: bool,
+                 slice_index: int) -> None:
         app.on_ooo = to_ooo
         app.migrations += 1
         self.total_migrations += 1
@@ -150,13 +202,38 @@ class DetailedMirageCluster:
         self.hier.bus.transfer(int(app.cycles), payload)
         self.sc_bytes_transferred += app.sc.used_bytes
         if to_ooo:
-            app.consumer.memory.flush_for_migration()
+            dirty, dropped = app.consumer.memory.flush_for_migration()
         else:
-            self.producer_mem.flush_for_migration()
+            dirty, dropped = self.producer_mem.flush_for_migration()
+        event = self.migration.migrate(
+            app.name, now_cycles=int(app.cycles),
+            interval_index=slice_index, to_ooo=to_ooo,
+            sc_bytes=app.sc.used_bytes,
+        )
+        telemetry = self.telemetry
+        telemetry.counters.bump("migration.count")
+        telemetry.counters.bump("migration.sc_bytes", app.sc.used_bytes)
+        telemetry.counters.bump("migration.l1_flush_dirty", dirty)
+        telemetry.counters.bump("migration.l1_flush_lines", dropped)
+        if telemetry.wants("migration"):
+            telemetry.emit(MigrationRecord(
+                interval=slice_index,
+                app=app.name,
+                to_ooo=to_ooo,
+                sc_bytes=app.sc.used_bytes,
+                drain_cycles=event.drain_cycles,
+                l1_warmup_cycles=event.l1_warmup_cycles,
+                sc_transfer_cycles=event.sc_transfer_cycles,
+                bus_contention_cycles=event.bus_contention_cycles,
+                charged_cycles=float(event.total_cycles),
+                l1_flush_dirty=dirty,
+                l1_flush_lines=dropped,
+            ))
 
-    def _run_slice(self, app: _DetailedApp) -> None:
+    def _run_slice(self, app: _DetailedApp, slice_index: int) -> None:
         n = self.slice_instructions
         window = itertools.islice(app.stream, n)
+        telemetry = self.telemetry
         if app.on_ooo:
             before_misses = app.sc.stats.misses
             core = OutOfOrderCore(
@@ -170,17 +247,26 @@ class DetailedMirageCluster:
             app.ooo_cycles += result.cycles
             app.ooo_slices += 1
             app.slices_since_ooo = 0
+            telemetry.counters.merge(result.stats.counters(prefix="ooo."))
         else:
             result = app.consumer.run(window, n)
             app.sc_mpki_ino = result.stats.sc_mpki()
             app.slices_since_ooo += 1
+            telemetry.counters.merge(result.stats.counters(prefix="ino."))
         app.instructions += result.instructions
         app.cycles += result.cycles
         app.ipc_last = result.ipc
-
-    def _alone_ipc(self, app: _DetailedApp) -> float:
-        """IPC of this benchmark alone on a private OoO (reference)."""
-        from repro.workloads.profiles import get_profile
-        # Use the calibration target: measuring here would perturb the
-        # shared hierarchy. Good enough for speedup normalization.
-        return get_profile(app.name).target_ipc_ooo
+        if telemetry.wants("interval"):
+            telemetry.emit(IntervalRecord(
+                interval=slice_index,
+                app=app.name,
+                on_ooo=app.on_ooo,
+                ipc=result.ipc,
+                speedup=min(1.0, result.ipc
+                            / max(1e-9, _alone_ooo_ipc(app.name))),
+                sc_mpki_ino=app.sc_mpki_ino,
+                delta_sc_mpki=(
+                    (app.sc_mpki_ino - (app.sc_mpki_ooo or 0.1))
+                    / max(0.1, app.sc_mpki_ooo or 0.1)),
+                phase_id=-1,
+            ))

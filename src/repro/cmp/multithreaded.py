@@ -25,9 +25,15 @@ from repro.arbiter.sc_mpki import SCMPKIArbitrator
 from repro.characterize.phase_model import AppModel
 from repro.cmp.config import ClusterConfig
 from repro.cmp.migration import MigrationCostModel
-from repro.cmp.system import AppState, CMPResult
 from repro.energy.model import CoreEnergyModel
-from repro.metrics import util_share
+from repro.engine import (
+    EngineContext,
+    EnergyPhase,
+    ExecutionPhase,
+    interval_tier_views,
+)
+from repro.engine.state import AppState
+from repro.telemetry import Telemetry
 
 
 @dataclass
@@ -61,6 +67,7 @@ class MultithreadedMirage:
         broadcast: bool = True,
         skew_instructions: int = 50_000,
         energy_model: CoreEnergyModel | None = None,
+        telemetry: Telemetry | None = None,
     ):
         if not config.mirage:
             raise ValueError("multithreaded sharing needs OinO consumers")
@@ -70,6 +77,7 @@ class MultithreadedMirage:
         self.broadcast = broadcast
         self.energy_model = energy_model or CoreEnergyModel()
         self.migration = MigrationCostModel(config)
+        self.telemetry = telemetry or Telemetry()
         self.threads = [
             AppState(model=model, instr_done=float(i * skew_instructions))
             for i in range(config.n_consumers)
@@ -77,23 +85,39 @@ class MultithreadedMirage:
 
     def run(self, *, max_intervals: int = 50_000) -> ThreadedResult:
         cfg = self.config
-        interval = cfg.scale.interval_cycles
-        budget = cfg.scale.app_instruction_budget
-        em = self.energy_model
         ooo_active = 0
         memoize_phases = 0
         k = 0
-        from repro.cmp.system import CMPSystem  # view construction
-        views_of = CMPSystem._views
+        # Threads behave exactly like independent applications of the
+        # same model between broadcasts, so execution and energy reuse
+        # the standard engine phases; arbitration and migration stay
+        # local because the broadcast step needs the chosen index.
+        execution = ExecutionPhase()
+        energy = EnergyPhase(self.energy_model)
+        n_threads = len(self.threads)
+        ctx = EngineContext(
+            config=cfg,
+            apps=self.threads,
+            telemetry=self.telemetry,
+            interval=cfg.scale.interval_cycles,
+            budget=cfg.scale.app_instruction_budget,
+            ooo_share=[0] * n_threads,
+        )
+        interval = ctx.interval
 
         while k < max_intervals:
             if all(t.completions >= 1 for t in self.threads):
                 break
             chosen = self.arbitrator.pick(
-                views_of(self), interval_index=k, slots=cfg.n_producers,
+                interval_tier_views(self.threads),
+                interval_index=k, slots=cfg.n_producers,
             )[: cfg.n_producers]
             now = k * interval
-            mig_cost = [0.0] * len(self.threads)
+            ctx.index = k
+            ctx.now = now
+            ctx.chosen = chosen
+            ctx.mig_cost = [0.0] * n_threads
+            ctx.outcomes = [None] * n_threads
             for i, thread in enumerate(self.threads):
                 should = i in chosen
                 if should != thread.on_ooo:
@@ -103,13 +127,14 @@ class MultithreadedMirage:
                         f"t{i}", now_cycles=now, interval_index=k,
                         to_ooo=should, sc_bytes=sc_bytes,
                     )
-                    mig_cost[i] = min(interval * 0.9, event.total_cycles)
+                    ctx.mig_cost[i] = min(
+                        interval * 0.9, event.total_cycles)
                     thread.on_ooo = should
             if chosen:
                 ooo_active += 1
                 memoize_phases += 1
-            for i, thread in enumerate(self.threads):
-                self._advance(thread, interval, mig_cost[i], em, k, budget)
+            execution.run(ctx)
+            energy.run(ctx)
             # Broadcast: the freshly produced schedules reach every
             # sibling in the same phase, over the shared bus.
             if self.broadcast and chosen:
@@ -128,6 +153,7 @@ class MultithreadedMirage:
             k += 1
 
         total_cycles = k * interval
+        budget = ctx.budget
         speedups = []
         for thread in self.threads:
             alone = budget / max(1e-9, self.model.mean_ipc_ooo)
@@ -142,19 +168,3 @@ class MultithreadedMirage:
             memoize_phases=memoize_phases,
             energy_pj=sum(t.energy_pj for t in self.threads),
         )
-
-    # Reuse the single-app advance logic: threads behave exactly like
-    # independent applications of the same model between broadcasts.
-    def _advance(self, app: AppState, interval: int, mig_cost: float,
-                 em: CoreEnergyModel, k: int, budget: int) -> None:
-        from repro.cmp.system import CMPSystem
-        CMPSystem._advance(self, app, interval, mig_cost, em, k, budget)
-
-    # _advance/_views expect these attributes on `self`:
-    @property
-    def apps(self) -> list[AppState]:
-        return self.threads
-
-    @property
-    def record_history(self) -> bool:
-        return False

@@ -1,22 +1,18 @@
 """The interval-driven CMP simulator.
 
 Each application owns one consumer core; one (or more) producer OoO
-cores are shared through the arbitrator.  The simulator advances all
-cores one arbitration interval at a time:
+cores are shared through the arbitrator.  The simulation itself now
+lives in :mod:`repro.engine`: a thin interval loop drives four
+composable phases — arbitration, migration, execution (Schedule-Cache
+coverage evolution) and energy — over shared
+:class:`~repro.engine.state.AppState` records, each phase emitting
+structured events into :mod:`repro.telemetry`.
 
-1. Build each application's performance-counter view and ask the
-   arbitrator who gets the OoO(s) — possibly nobody (power-gated).
-2. Charge migration costs (pipeline drain, L1 warm-up, SC transfer
-   over the shared bus) to the applications that moved.
-3. Advance every application by the interval's effective cycles at the
-   IPC its current core and Schedule Cache state deliver, evolving SC
-   coverage (refresh on the producer, staleness decay and phase-change
-   invalidation on the consumer).
-4. Integrate per-core energy; idle producers power-gate.
-
-Applications that finish their instruction budget restart (paper
-section 4.1); the run ends when every application has completed the
-budget at least once.
+:class:`CMPSystem` assembles the standard pipeline for one cluster and
+one workload mix, runs it, and folds the outcome into a
+:class:`CMPResult`.  Applications that finish their instruction budget
+restart (paper section 4.1); the run ends when every application has
+completed the budget at least once.
 """
 
 from __future__ import annotations
@@ -24,51 +20,26 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.arbiter.base import AppView, Arbitrator
-from repro.characterize.phase_model import AppModel, PhaseProfile
+from repro.characterize.phase_model import AppModel
 from repro.cmp.config import ClusterConfig
 from repro.cmp.migration import MigrationCostModel
 from repro.energy.model import CoreEnergyModel
-from repro.metrics import system_throughput, util_share
+from repro.engine import (
+    ArbitrationPhase,
+    EnergyPhase,
+    ExecutionPhase,
+    IntervalEngine,
+    MigrationPhase,
+)
+from repro.engine.state import AppState
+from repro.engine.views import interval_tier_views
+from repro.metrics import system_throughput
+from repro.telemetry import IntervalRecord, MemorySink, RunRecord, Telemetry
 
-
-@dataclass(slots=True)
-class AppState:
-    """Mutable per-application simulation state."""
-
-    model: AppModel
-    instr_done: float = 0.0
-    completions: int = 0
-    first_completion_cycles: float | None = None
-    on_ooo: bool = False
-    # Schedule Cache state (Mirage consumers only).
-    sc_phase_id: int | None = None
-    sc_coverage: float = 0.0
-    # Performance counters the arbitrator polls.
-    ipc_last: float = 0.0
-    ipc_ooo_last: float | None = None
-    sc_mpki_ino_last: float = 0.0
-    sc_mpki_ooo_last: float | None = None
-    intervals_since_ooo: int = 10**9
-    # Utilization bookkeeping (Equation 3).
-    t_ooo: float = 0.0
-    t_memoized: float = 0.0
-    t_total: float = 0.0
-    ooo_intervals: int = 0
-    energy_pj: float = 0.0
-
-
-@dataclass(slots=True)
-class IntervalSample:
-    """One history row for timeline figures (5 and 10)."""
-
-    interval: int
-    app: str
-    on_ooo: bool
-    ipc: float
-    speedup: float
-    sc_mpki_ino: float
-    delta_sc_mpki: float
-    phase_id: int
+#: The bespoke history row is superseded by the telemetry schema's
+#: :class:`~repro.telemetry.events.IntervalRecord`; the old name stays
+#: as an alias for existing callers.
+IntervalSample = IntervalRecord
 
 
 @dataclass
@@ -87,7 +58,7 @@ class CMPResult:
     migrations: int
     migration_cost_cycles: dict[str, float]
     migration_frequency: float       #: migrations per interval
-    history: list[IntervalSample] = field(default_factory=list)
+    history: list[IntervalRecord] = field(default_factory=list)
 
     @property
     def stp(self) -> float:
@@ -95,7 +66,16 @@ class CMPResult:
 
 
 class CMPSystem:
-    """Interval-level simulator for one cluster and one workload mix."""
+    """Interval-level simulator for one cluster and one workload mix.
+
+    A thin shell over :class:`~repro.engine.loop.IntervalEngine`: it
+    validates the cluster shape, builds the standard four-phase
+    pipeline (``self.phases``), and wires a :class:`Telemetry` hub
+    through every phase.  ``record_history=True`` attaches an
+    in-memory sink capturing the per-interval trace records behind
+    Figures 5 and 10 (``self.history``); pass ``telemetry=`` to stream
+    the full event schema to custom sinks instead.
+    """
 
     def __init__(
         self,
@@ -105,6 +85,7 @@ class CMPSystem:
         *,
         energy_model: CoreEnergyModel | None = None,
         record_history: bool = False,
+        telemetry: Telemetry | None = None,
     ):
         if (config.n_producers > 0
                 and config.n_consumers + config.n_producers < len(apps)):
@@ -127,88 +108,46 @@ class CMPSystem:
         self.arbitrator = arbitrator
         self.energy_model = energy_model or CoreEnergyModel()
         self.migration = MigrationCostModel(config)
+        self.telemetry = telemetry or Telemetry()
         self.record_history = record_history
-        self.history: list[IntervalSample] = []
+        self._history_sink: MemorySink | None = None
+        if record_history:
+            self._history_sink = self.telemetry.attach(
+                MemorySink(kinds={"interval"}))
+        self.phases = [
+            ArbitrationPhase(arbitrator),
+            MigrationPhase(self.migration),
+            ExecutionPhase(),
+            EnergyPhase(self.energy_model),
+        ]
+        self.engine = IntervalEngine(
+            config, self.apps, self.phases, telemetry=self.telemetry)
 
     # ------------------------------------------------------------------
+    @property
+    def history(self) -> list[IntervalRecord]:
+        """Captured per-interval trace records (Figures 5 and 10)."""
+        if self._history_sink is None:
+            return []
+        return self._history_sink.events
+
     def _views(self) -> list[AppView]:
-        views = []
-        for i, app in enumerate(self.apps):
-            views.append(AppView(
-                index=i,
-                name=app.model.name,
-                ipc_current=app.ipc_last,
-                ipc_ooo_last=app.ipc_ooo_last,
-                sc_mpki_ino=app.sc_mpki_ino_last,
-                sc_mpki_ooo=app.sc_mpki_ooo_last,
-                intervals_since_ooo=app.intervals_since_ooo,
-                util=util_share(
-                    app.t_ooo, app.t_memoized,
-                    min(1.0, app.ipc_last / max(1e-9, app.ipc_ooo_last))
-                    if app.ipc_ooo_last else 0.0,
-                    max(1.0, app.t_total),
-                ),
-                on_ooo=app.on_ooo,
-            ))
-        return views
+        return interval_tier_views(self.apps)
 
     # ------------------------------------------------------------------
     def run(self, *, max_intervals: int = 50_000) -> CMPResult:
         cfg = self.config
-        scale = cfg.scale
-        interval = scale.interval_cycles
-        budget = scale.app_instruction_budget
-        em = self.energy_model
-        ooo_active_intervals = 0
-        ooo_share = [0] * len(self.apps)
-
-        k = 0
-        while k < max_intervals:
-            if all(a.completions >= 1 for a in self.apps):
-                break
-            now = k * interval
-
-            # ---- arbitration ----
-            chosen: list[int] = []
-            if cfg.n_producers > 0 and self.arbitrator is not None:
-                chosen = self.arbitrator.pick(
-                    self._views(), interval_index=k,
-                    slots=cfg.n_producers,
-                )[: cfg.n_producers]
-
-            # ---- migrations ----
-            mig_cost = [0.0] * len(self.apps)
-            for i, app in enumerate(self.apps):
-                should_be_on = i in chosen
-                if should_be_on != app.on_ooo:
-                    sc_bytes = 0
-                    if cfg.mirage:
-                        sc_bytes = int(
-                            app.sc_coverage * cfg.sc_capacity_bytes)
-                    event = self.migration.migrate(
-                        app.model.name, now_cycles=now, interval_index=k,
-                        to_ooo=should_be_on, sc_bytes=sc_bytes,
-                    )
-                    mig_cost[i] = min(interval * 0.9, event.total_cycles)
-                    app.on_ooo = should_be_on
-
-            # ---- execute the interval ----
-            if chosen:
-                ooo_active_intervals += 1
-                for i in chosen:
-                    ooo_share[i] += 1
-            for i, app in enumerate(self.apps):
-                self._advance(app, interval, mig_cost[i], em, k, budget)
-            k += 1
-
-        total_cycles = k * interval
+        ctx = self.engine.run(max_intervals=max_intervals)
+        k = ctx.intervals
+        total_cycles = k * ctx.interval
+        budget = ctx.budget
         speedups = []
         for app in self.apps:
             alone = budget / max(1e-9, app.model.mean_ipc_ooo)
             took = app.first_completion_cycles or total_cycles
             speedups.append(min(1.0, alone / max(1e-9, took)))
-        active_total = max(1, ooo_active_intervals)
-        return CMPResult(
+        active_total = max(1, ctx.ooo_active_intervals)
+        result = CMPResult(
             config_name=cfg.name,
             arbitrator_name=(
                 self.arbitrator.name if self.arbitrator else "none"),
@@ -218,109 +157,26 @@ class CMPSystem:
             speedups=speedups,
             energy_pj=sum(a.energy_pj for a in self.apps),
             ooo_active_fraction=(
-                ooo_active_intervals / k if k and cfg.n_producers else 0.0),
-            ooo_share_per_app=[s / active_total for s in ooo_share],
+                ctx.ooo_active_intervals / k if k and cfg.n_producers
+                else 0.0),
+            ooo_share_per_app=[s / active_total for s in ctx.ooo_share],
             migrations=self.migration.total_migrations,
             migration_cost_cycles=self.migration.cost_summary(),
             migration_frequency=(
                 self.migration.total_migrations / k if k else 0.0),
             history=self.history,
         )
-
-    # ------------------------------------------------------------------
-    def _advance(self, app: AppState, interval: int, mig_cost: float,
-                 em: CoreEnergyModel, k: int, budget: int) -> None:
-        cfg = self.config
-        effective = max(0.0, interval - mig_cost)
-        phase = app.model.phase_at(app.instr_done)
-
-        if app.on_ooo:
-            ipc = phase.ipc_ooo
-            kind = "ooo"
-            memo_frac = 0.0
-            if cfg.mirage:
-                # The producer refreshes the SC with this phase's
-                # schedules, as far as they fit in 8 KB.
-                fit = min(1.0, (cfg.sc_capacity_bytes / 1024.0)
-                          / max(0.25, phase.trace_kb))
-                app.sc_phase_id = phase.phase_id
-                app.sc_coverage = fit
-                app.sc_mpki_ooo_last = phase.sc_mpki_ooo
-                sc_mpki = phase.sc_mpki_ooo
-                # While memoizing, the consumer-side staleness signal
-                # is satisfied: fresh schedules are being produced.
-                # (Without this the app camps on the OoO, because its
-                # last InO-side SC-MPKI reading stays frozen high.)
-                app.sc_mpki_ino_last = phase.sc_mpki_ooo
-            else:
-                sc_mpki = 0.0
-            app.t_ooo += effective
-            app.intervals_since_ooo = 0
-            app.ooo_intervals += 1
-            app.ipc_ooo_last = ipc
-        else:
-            app.intervals_since_ooo += 1
-            if cfg.mirage:
-                if app.sc_phase_id == phase.phase_id:
-                    app.sc_coverage *= (1.0 - phase.volatility)
-                else:
-                    app.sc_coverage = 0.0   # stale: schedules useless
-                coverage = app.sc_coverage
-                ipc = phase.ipc_oino(coverage)
-                sc_mpki = phase.sc_mpki_ino(coverage)
-                memo_frac = phase.memoizable * coverage
-                app.t_memoized += effective * memo_frac
-                kind = "oino"
-            else:
-                ipc = phase.ipc_ino
-                sc_mpki = 0.0
-                memo_frac = 0.0
-                kind = "ino"
-
-        app.ipc_last = ipc
-        app.sc_mpki_ino_last = sc_mpki if not app.on_ooo else (
-            app.sc_mpki_ino_last)
-        app.t_total += interval
-
-        # Progress and budget completion.
-        before = app.instr_done
-        app.instr_done += ipc * effective
-        if (before % budget) + ipc * effective >= budget:
-            app.completions += 1
-            if app.first_completion_cycles is None:
-                frac = (budget - before % budget) / max(
-                    1e-9, ipc * effective)
-                app.first_completion_cycles = (k + frac) * interval
-
-        # Energy to completion: each application is charged until it
-        # finishes its instruction budget once (restarted filler work
-        # is not billed, so one slow application cannot dominate the
-        # whole CMP's energy figure through its tail).
-        if app.first_completion_cycles is None or app.completions == 0:
-            if kind == "oino":
-                # Blend OinO-mode power by how much replay happened.
-                epi = (memo_frac * em.EPI_PJ["oino"]
-                       + (1 - memo_frac) * em.EPI_PJ["ino"])
-                leak = em.leakage["ino"] + em.leakage["oino_extra"] + \
-                    em.leakage["sc"]
-                app.energy_pj += (leak + epi * ipc) * interval
-            else:
-                app.energy_pj += em.interval_energy(kind, ipc, interval)
-
-        if self.record_history:
-            alone_ipc = phase.ipc_ooo
-            self.history.append(IntervalSample(
-                interval=k,
-                app=app.model.name,
-                on_ooo=app.on_ooo,
-                ipc=ipc,
-                speedup=min(1.0, ipc / max(1e-9, alone_ipc)),
-                sc_mpki_ino=sc_mpki,
-                delta_sc_mpki=(
-                    (sc_mpki - (app.sc_mpki_ooo_last or 0.1))
-                    / max(0.1, app.sc_mpki_ooo_last or 0.1)),
-                phase_id=phase.phase_id,
+        telemetry = self.telemetry
+        telemetry.counters.bump("run.intervals", k)
+        if telemetry.wants("run"):
+            telemetry.emit(RunRecord(
+                config=cfg.name,
+                arbitrator=result.arbitrator_name,
+                intervals=k,
+                total_cycles=total_cycles,
+                counters=dict(telemetry.counters),
             ))
+        return result
 
 
 # ----------------------------------------------------------------------

@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from collections import Counter
-from dataclasses import dataclass, field
+from dataclasses import dataclass, fields
 
 
 class EnergyEvents(Counter):
@@ -61,6 +61,17 @@ class CoreStats:
         if self.instructions == 0:
             return 0.0
         return self.memoized_instructions / self.instructions
+
+    def counters(self, prefix: str = "") -> dict[str, int]:
+        """Flatten every field into telemetry counter entries.
+
+        Keys are ``prefix + field name`` so callers can namespace by
+        core kind (``"ooo."``, ``"ino."``) or application.
+        """
+        return {
+            prefix + f.name: getattr(self, f.name)
+            for f in fields(self)
+        }
 
 
 @dataclass(slots=True)

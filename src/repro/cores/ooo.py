@@ -32,7 +32,7 @@ from repro.frontend.branch_predictor import (
     TournamentPredictor,
 )
 from repro.frontend.btb import BranchTargetBuffer
-from repro.isa.instructions import Instruction, OpClass
+from repro.isa.instructions import Instruction
 from repro.memory.hierarchy import CoreMemory, MemoryHierarchy
 from repro.schedule.recorder import ScheduleRecorder
 from repro.schedule.trace import TraceBuilder

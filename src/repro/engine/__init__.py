@@ -1,0 +1,36 @@
+"""The layered interval engine behind the CMP simulator.
+
+:class:`IntervalEngine` drives an ordered pipeline of
+:class:`EnginePhase` steps — arbitration, migration, execution
+(Schedule-Cache coverage evolution), energy — over shared
+:class:`AppState` records, emitting structured events into
+:mod:`repro.telemetry`.  :class:`~repro.cmp.system.CMPSystem` is now a
+thin shell that assembles the standard pipeline; custom phases slot in
+alongside the standard four (see ``docs/api.md``).
+"""
+
+from repro.engine.loop import IntervalEngine
+from repro.engine.phases import (
+    ArbitrationPhase,
+    EngineContext,
+    EnginePhase,
+    EnergyPhase,
+    ExecutionPhase,
+    MigrationPhase,
+)
+from repro.engine.state import AppState, ExecOutcome
+from repro.engine.views import build_app_view, interval_tier_views
+
+__all__ = [
+    "AppState",
+    "ArbitrationPhase",
+    "EngineContext",
+    "EnginePhase",
+    "EnergyPhase",
+    "ExecOutcome",
+    "ExecutionPhase",
+    "IntervalEngine",
+    "MigrationPhase",
+    "build_app_view",
+    "interval_tier_views",
+]

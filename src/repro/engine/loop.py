@@ -1,0 +1,72 @@
+"""The thin interval loop that drives a phase pipeline.
+
+The engine owns *when* — interval sequencing, completion detection,
+per-phase wall-time profiling — and the phases own *what*.  Custom
+pipelines (extra phases, a phase swapped for an ablation variant) run
+through the same loop; see ``docs/api.md``.
+"""
+
+from __future__ import annotations
+
+from time import perf_counter
+from typing import TYPE_CHECKING, Sequence
+
+from repro.engine.phases import EngineContext, EnginePhase
+from repro.engine.state import AppState
+from repro.telemetry.collector import Telemetry
+
+if TYPE_CHECKING:
+    from repro.cmp.config import ClusterConfig
+
+
+class IntervalEngine:
+    """Runs an ordered list of phases one interval at a time.
+
+    Application state (``apps``) persists across :meth:`run` calls, so
+    callers can advance a simulation in chunks (the white-box tests
+    and the software-arbitrator studies do); each call gets a fresh
+    :class:`~repro.engine.phases.EngineContext` whose interval index
+    restarts at zero.
+    """
+
+    def __init__(self, config: "ClusterConfig", apps: list[AppState],
+                 phases: Sequence[EnginePhase], *,
+                 telemetry: Telemetry | None = None):
+        names = [p.name for p in phases]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate phase names: {names}")
+        self.config = config
+        self.apps = apps
+        self.phases = list(phases)
+        self.telemetry = telemetry or Telemetry()
+
+    def run(self, *, max_intervals: int) -> EngineContext:
+        """Drive the pipeline until every app completed its budget at
+        least once, or *max_intervals* elapse; returns the context."""
+        scale = self.config.scale
+        ctx = EngineContext(
+            config=self.config,
+            apps=self.apps,
+            telemetry=self.telemetry,
+            interval=scale.interval_cycles,
+            budget=scale.app_instruction_budget,
+            ooo_share=[0] * len(self.apps),
+        )
+        profiler = self.telemetry.profiler
+        n_apps = len(self.apps)
+        k = 0
+        while k < max_intervals:
+            if all(a.completions >= 1 for a in self.apps):
+                break
+            ctx.index = k
+            ctx.now = k * ctx.interval
+            ctx.chosen = []
+            ctx.mig_cost = [0.0] * n_apps
+            ctx.outcomes = [None] * n_apps
+            for phase in self.phases:
+                start = perf_counter()
+                phase.run(ctx)
+                profiler.add(phase.name, perf_counter() - start)
+            k += 1
+        ctx.intervals = k
+        return ctx

@@ -1,0 +1,295 @@
+"""The composable phases of the interval engine.
+
+``cmp/system.py``'s former monolithic loop is now a pipeline of four
+phases, each owning one concern of the Mirage mechanism and reporting
+through :mod:`repro.telemetry`:
+
+1. :class:`ArbitrationPhase` — build every application's
+   performance-counter view and ask the arbitrator who gets the
+   producer OoO(s), possibly nobody (power-gated).
+2. :class:`MigrationPhase` — charge migration costs (pipeline drain,
+   L1 warm-up, SC transfer over the shared bus) to the applications
+   that moved.
+3. :class:`ExecutionPhase` — advance every application by the
+   interval's effective cycles at the IPC its current core and
+   Schedule-Cache state deliver, evolving SC coverage (refresh on the
+   producer, staleness decay and phase-change invalidation on the
+   consumer).
+4. :class:`EnergyPhase` — integrate per-core energy; idle producers
+   power-gate.
+
+Phases communicate only through the :class:`EngineContext` and the
+per-application :class:`~repro.engine.state.AppState` records, so they
+can be reordered, replaced or extended (see ``docs/api.md``) without
+touching the loop in :mod:`repro.engine.loop`.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any
+
+from repro.engine.state import AppState, ExecOutcome
+from repro.engine.views import interval_tier_views
+from repro.telemetry.collector import Telemetry
+from repro.telemetry.events import (
+    ArbitrationRecord,
+    EnergyRecord,
+    IntervalRecord,
+    MigrationRecord,
+)
+
+if TYPE_CHECKING:
+    from repro.cmp.config import ClusterConfig
+    from repro.cmp.migration import MigrationCostModel
+    from repro.energy.model import CoreEnergyModel
+
+
+@dataclass
+class EngineContext:
+    """Mutable per-run state the phases read and write.
+
+    The loop resets the per-interval fields (``chosen``, ``mig_cost``,
+    ``outcomes``) before each pipeline pass; the bookkeeping fields
+    (``ooo_active_intervals``, ``ooo_share``) accumulate for the run.
+    """
+
+    config: "ClusterConfig"
+    apps: list[AppState]
+    telemetry: Telemetry
+    interval: int                     #: cycles per arbitration interval
+    budget: int                       #: per-app instruction budget
+    index: int = 0                    #: current interval number
+    now: int = 0                      #: cycles elapsed at interval start
+    intervals: int = 0                #: intervals completed by the run
+    chosen: list[int] = field(default_factory=list)
+    mig_cost: list[float] = field(default_factory=list)
+    outcomes: list[ExecOutcome | None] = field(default_factory=list)
+    ooo_active_intervals: int = 0
+    ooo_share: list[int] = field(default_factory=list)
+
+
+class EnginePhase(ABC):
+    """One step of the per-interval pipeline."""
+
+    #: Telemetry/profiler label; unique within a pipeline.
+    name: str = "phase"
+
+    @abstractmethod
+    def run(self, ctx: EngineContext) -> None:
+        """Advance the simulation by this phase's concern."""
+
+
+class ArbitrationPhase(EnginePhase):
+    """Polls the arbitrator for the interval's OoO occupancy."""
+
+    name = "arbitration"
+
+    def __init__(self, arbitrator: Any):
+        self.arbitrator = arbitrator
+
+    def run(self, ctx: EngineContext) -> None:
+        cfg = ctx.config
+        ctx.chosen = []
+        if cfg.n_producers > 0 and self.arbitrator is not None:
+            ctx.chosen = self.arbitrator.pick(
+                interval_tier_views(ctx.apps), interval_index=ctx.index,
+                slots=cfg.n_producers,
+            )[: cfg.n_producers]
+        if ctx.chosen:
+            ctx.ooo_active_intervals += 1
+            for i in ctx.chosen:
+                ctx.ooo_share[i] += 1
+        telemetry = ctx.telemetry
+        telemetry.counters.bump("arbitration.granted", len(ctx.chosen))
+        if not ctx.chosen and cfg.n_producers:
+            telemetry.counters.bump("arbitration.gated")
+        if telemetry.wants("arbitration"):
+            telemetry.emit(ArbitrationRecord(
+                interval=ctx.index,
+                chosen=[ctx.apps[i].model.name for i in ctx.chosen],
+                slots=cfg.n_producers,
+            ))
+
+
+class MigrationPhase(EnginePhase):
+    """Charges migration costs to applications changing cores."""
+
+    name = "migration"
+
+    def __init__(self, cost_model: "MigrationCostModel"):
+        self.migration = cost_model
+
+    def run(self, ctx: EngineContext) -> None:
+        cfg = ctx.config
+        telemetry = ctx.telemetry
+        for i, app in enumerate(ctx.apps):
+            should_be_on = i in ctx.chosen
+            if should_be_on == app.on_ooo:
+                continue
+            sc_bytes = 0
+            if cfg.mirage:
+                sc_bytes = int(app.sc_coverage * cfg.sc_capacity_bytes)
+            event = self.migration.migrate(
+                app.model.name, now_cycles=ctx.now,
+                interval_index=ctx.index, to_ooo=should_be_on,
+                sc_bytes=sc_bytes,
+            )
+            charged = min(ctx.interval * 0.9, event.total_cycles)
+            ctx.mig_cost[i] = charged
+            app.on_ooo = should_be_on
+            telemetry.counters.bump("migration.count")
+            telemetry.counters.bump("migration.sc_bytes", sc_bytes)
+            if telemetry.wants("migration"):
+                telemetry.emit(MigrationRecord(
+                    interval=ctx.index,
+                    app=app.model.name,
+                    to_ooo=should_be_on,
+                    sc_bytes=sc_bytes,
+                    drain_cycles=event.drain_cycles,
+                    l1_warmup_cycles=event.l1_warmup_cycles,
+                    sc_transfer_cycles=event.sc_transfer_cycles,
+                    bus_contention_cycles=event.bus_contention_cycles,
+                    charged_cycles=charged,
+                ))
+
+
+class ExecutionPhase(EnginePhase):
+    """Advances every application, evolving Schedule-Cache coverage."""
+
+    name = "execution"
+
+    def run(self, ctx: EngineContext) -> None:
+        wants_interval = ctx.telemetry.wants("interval")
+        for i, app in enumerate(ctx.apps):
+            ctx.outcomes[i] = self._advance(
+                ctx, app, ctx.mig_cost[i], wants_interval)
+
+    def _advance(self, ctx: EngineContext, app: AppState,
+                 mig_cost: float, wants_interval: bool) -> ExecOutcome:
+        cfg = ctx.config
+        interval = ctx.interval
+        budget = ctx.budget
+        effective = max(0.0, interval - mig_cost)
+        phase = app.model.phase_at(app.instr_done)
+
+        if app.on_ooo:
+            ipc = phase.ipc_ooo
+            kind = "ooo"
+            memo_frac = 0.0
+            if cfg.mirage:
+                # The producer refreshes the SC with this phase's
+                # schedules, as far as they fit in 8 KB.
+                fit = min(1.0, (cfg.sc_capacity_bytes / 1024.0)
+                          / max(0.25, phase.trace_kb))
+                app.sc_phase_id = phase.phase_id
+                app.sc_coverage = fit
+                app.sc_mpki_ooo_last = phase.sc_mpki_ooo
+                sc_mpki = phase.sc_mpki_ooo
+                # While memoizing, the consumer-side staleness signal
+                # is satisfied: fresh schedules are being produced.
+                # (Without this the app camps on the OoO, because its
+                # last InO-side SC-MPKI reading stays frozen high.)
+                app.sc_mpki_ino_last = phase.sc_mpki_ooo
+            else:
+                sc_mpki = 0.0
+            app.t_ooo += effective
+            app.intervals_since_ooo = 0
+            app.ooo_intervals += 1
+            app.ipc_ooo_last = ipc
+        else:
+            app.intervals_since_ooo += 1
+            if cfg.mirage:
+                if app.sc_phase_id == phase.phase_id:
+                    app.sc_coverage *= (1.0 - phase.volatility)
+                else:
+                    app.sc_coverage = 0.0   # stale: schedules useless
+                coverage = app.sc_coverage
+                ipc = phase.ipc_oino(coverage)
+                sc_mpki = phase.sc_mpki_ino(coverage)
+                memo_frac = phase.memoizable * coverage
+                app.t_memoized += effective * memo_frac
+                kind = "oino"
+            else:
+                ipc = phase.ipc_ino
+                sc_mpki = 0.0
+                memo_frac = 0.0
+                kind = "ino"
+
+        app.ipc_last = ipc
+        app.sc_mpki_ino_last = sc_mpki if not app.on_ooo else (
+            app.sc_mpki_ino_last)
+        app.t_total += interval
+
+        # Progress and budget completion.
+        before = app.instr_done
+        app.instr_done += ipc * effective
+        if (before % budget) + ipc * effective >= budget:
+            app.completions += 1
+            if app.first_completion_cycles is None:
+                frac = (budget - before % budget) / max(
+                    1e-9, ipc * effective)
+                app.first_completion_cycles = (ctx.index + frac) * interval
+
+        if wants_interval:
+            alone_ipc = phase.ipc_ooo
+            ctx.telemetry.emit(IntervalRecord(
+                interval=ctx.index,
+                app=app.model.name,
+                on_ooo=app.on_ooo,
+                ipc=ipc,
+                speedup=min(1.0, ipc / max(1e-9, alone_ipc)),
+                sc_mpki_ino=sc_mpki,
+                delta_sc_mpki=(
+                    (sc_mpki - (app.sc_mpki_ooo_last or 0.1))
+                    / max(0.1, app.sc_mpki_ooo_last or 0.1)),
+                phase_id=phase.phase_id,
+            ))
+        return ExecOutcome(kind=kind, ipc=ipc, memo_frac=memo_frac,
+                           effective=effective)
+
+
+class EnergyPhase(EnginePhase):
+    """Integrates per-core energy from the execution outcomes.
+
+    Each application is charged until it finishes its instruction
+    budget once (restarted filler work is not billed, so one slow
+    application cannot dominate the whole CMP's energy figure through
+    its tail).
+    """
+
+    name = "energy"
+
+    def __init__(self, energy_model: "CoreEnergyModel"):
+        self.energy_model = energy_model
+
+    def run(self, ctx: EngineContext) -> None:
+        em = self.energy_model
+        interval = ctx.interval
+        telemetry = ctx.telemetry
+        wants_energy = telemetry.wants("energy")
+        for app, outcome in zip(ctx.apps, ctx.outcomes):
+            if outcome is None:
+                continue
+            charged = 0.0
+            if app.first_completion_cycles is None or app.completions == 0:
+                if outcome.kind == "oino":
+                    # Blend OinO-mode power by how much replay happened.
+                    memo_frac = outcome.memo_frac
+                    epi = (memo_frac * em.EPI_PJ["oino"]
+                           + (1 - memo_frac) * em.EPI_PJ["ino"])
+                    leak = em.leakage["ino"] + em.leakage["oino_extra"] + \
+                        em.leakage["sc"]
+                    charged = (leak + epi * outcome.ipc) * interval
+                else:
+                    charged = em.interval_energy(
+                        outcome.kind, outcome.ipc, interval)
+                app.energy_pj += charged
+            if wants_energy:
+                telemetry.emit(EnergyRecord(
+                    interval=ctx.index,
+                    app=app.model.name,
+                    core=outcome.kind,
+                    energy_pj=charged,
+                ))

@@ -1,0 +1,52 @@
+"""Mutable per-application state the engine phases read and write."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:
+    from repro.characterize.phase_model import AppModel
+
+
+@dataclass(slots=True)
+class AppState:
+    """One application's simulation state across intervals.
+
+    Every engine phase owns a slice of these fields: arbitration reads
+    the performance counters, migration toggles ``on_ooo``, execution
+    advances progress and Schedule-Cache state, energy accumulates
+    ``energy_pj``.
+    """
+
+    model: "AppModel"
+    instr_done: float = 0.0
+    completions: int = 0
+    first_completion_cycles: float | None = None
+    on_ooo: bool = False
+    # Schedule Cache state (Mirage consumers only).
+    sc_phase_id: int | None = None
+    sc_coverage: float = 0.0
+    # Performance counters the arbitrator polls.
+    ipc_last: float = 0.0
+    ipc_ooo_last: float | None = None
+    sc_mpki_ino_last: float = 0.0
+    sc_mpki_ooo_last: float | None = None
+    intervals_since_ooo: int = 10**9
+    # Utilization bookkeeping (Equation 3).
+    t_ooo: float = 0.0
+    t_memoized: float = 0.0
+    t_total: float = 0.0
+    ooo_intervals: int = 0
+    energy_pj: float = 0.0
+
+
+@dataclass(slots=True)
+class ExecOutcome:
+    """What :class:`~repro.engine.phases.ExecutionPhase` computed for
+    one application this interval; consumed by the energy phase."""
+
+    kind: str           #: core mode executed: "ooo" | "ino" | "oino"
+    ipc: float
+    memo_frac: float    #: fraction of the interval replayed from the SC
+    effective: float    #: cycles left after the migration charge

@@ -8,6 +8,7 @@ from repro.cmp.system import CMPResult, CMPSystem, run_homo
 # The arbitrator tables and the memoized per-benchmark model live with
 # the work-unit executor so drivers and pool workers share one source.
 from repro.runner.units import ARBITRATORS, TRADITIONAL, app_model
+from repro.telemetry import Telemetry
 from repro.workloads.mixes import WorkloadMix
 
 
@@ -22,6 +23,7 @@ def make_system(
     n_producers: int = 1,
     scale: TimeScale | None = None,
     record_history: bool = False,
+    telemetry: Telemetry | None = None,
 ) -> CMPSystem:
     """Build a CMP for *mix* under the named arbitrator."""
     mirage = arbitrator_name not in TRADITIONAL
@@ -34,6 +36,7 @@ def make_system(
     return CMPSystem(
         config, models_for(mix), ARBITRATORS[arbitrator_name](),
         record_history=record_history,
+        telemetry=telemetry,
     )
 
 

@@ -17,20 +17,27 @@ Paper shape:
 from __future__ import annotations
 
 from repro.experiments.common import format_table, make_system, mean
+from repro.telemetry import MemorySink, Telemetry
 from repro.workloads.mixes import WorkloadMix
 
 MIX = WorkloadMix(name="fig10", category="Random",
                   benchmarks=("astar", "hmmer", "bzip2"))
 
 
-def run(*, intervals: int = 500) -> dict:
+def run(*, intervals: int = 500,
+        telemetry: Telemetry | None = None) -> dict:
     out = {}
+    tele = telemetry or Telemetry()
     for arb in ("maxSTP", "SC-MPKI"):
-        system = make_system(MIX, arb, record_history=True)
-        result = system.run(max_intervals=intervals)
+        trace = tele.attach(MemorySink(kinds={"interval"}))
+        try:
+            system = make_system(MIX, arb, telemetry=tele)
+            result = system.run(max_intervals=intervals)
+        finally:
+            tele.detach(trace)
         per_app = {}
         for name in MIX:
-            series = [s for s in system.history if s.app == name]
+            series = [s for s in trace.events if s.app == name]
             per_app[name] = {
                 "mean_speedup": mean(s.speedup for s in series),
                 "ooo_fraction": mean(float(s.on_ooo) for s in series),

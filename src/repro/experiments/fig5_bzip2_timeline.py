@@ -13,18 +13,25 @@ re-memoization.
 from __future__ import annotations
 
 from repro.experiments.common import format_table, make_system
+from repro.telemetry import MemorySink, Telemetry
 from repro.workloads.mixes import WorkloadMix
 
 
 def run(*, intervals: int = 500, companions=("gamess", "namd",
-                                             "libquantum")) -> dict:
+                                             "libquantum"),
+        telemetry: Telemetry | None = None) -> dict:
     mix = WorkloadMix(
         name="fig5", category="Random",
         benchmarks=("bzip2", *companions),
     )
-    system = make_system(mix, "SC-MPKI", record_history=True)
-    system.run(max_intervals=intervals)
-    series = [s for s in system.history if s.app == "bzip2"]
+    tele = telemetry or Telemetry()
+    trace = tele.attach(MemorySink(kinds={"interval"}))
+    try:
+        system = make_system(mix, "SC-MPKI", telemetry=tele)
+        system.run(max_intervals=intervals)
+    finally:
+        tele.detach(trace)
+    series = [s for s in trace.events if s.app == "bzip2"]
     spikes = [
         s for s in series
         if s.delta_sc_mpki > 1.0 and not s.on_ooo

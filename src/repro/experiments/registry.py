@@ -23,6 +23,7 @@ from types import ModuleType
 from typing import Any, Mapping
 
 from repro.runner import ResultCache, SweepRunner
+from repro.telemetry import JSONLSink, Telemetry
 
 #: The single source of truth for what ``--quick`` means per driver:
 #: the keyword overrides applied to ``run()`` when ``params.quick``.
@@ -63,6 +64,10 @@ class ExperimentParams:
         jobs: worker processes for sweep drivers; 1 = serial.
         use_cache: consult/populate the on-disk result cache.
         cache_dir: cache location (default ``~/.cache/mirage``).
+        trace: JSONL file the run's telemetry trace is appended to;
+            runner-based drivers trace through the sweep runner,
+            telemetry-aware drivers get a :class:`Telemetry` hub with
+            a :class:`JSONLSink` attached.
     """
 
     quick: bool = False
@@ -71,11 +76,12 @@ class ExperimentParams:
     jobs: int = 1
     use_cache: bool = False
     cache_dir: str | Path | None = None
+    trace: str | Path | None = None
 
     def make_runner(self, experiment: str) -> SweepRunner:
         cache = ResultCache(self.cache_dir) if self.use_cache else None
         return SweepRunner(jobs=self.jobs, cache=cache,
-                           experiment=experiment)
+                           experiment=experiment, trace=self.trace)
 
 
 class Experiment:
@@ -125,8 +131,21 @@ class Experiment:
             kwargs["runner"] = self.last_runner
         else:
             self.last_runner = None
+        trace_telemetry: Telemetry | None = None
+        if (params.trace is not None and "telemetry" in self.accepts
+                and "telemetry" not in overrides):
+            # Non-runner drivers stream their events straight to the
+            # trace file; runner-based drivers already trace through
+            # the sweep runner above.
+            trace_telemetry = Telemetry(
+                sinks=[JSONLSink(params.trace, mode="a")])
+            kwargs["telemetry"] = trace_telemetry
         kwargs.update(overrides)
-        return self.module.run(**kwargs)
+        try:
+            return self.module.run(**kwargs)
+        finally:
+            if trace_telemetry is not None:
+                trace_telemetry.close()
 
     def print_table(self, result: dict) -> None:
         """Render *result* the way the figure is shown in the paper."""

@@ -18,6 +18,7 @@ from repro.arbiter import SCMPKIArbitrator
 from repro.cmp.detailed import DetailedMirageCluster
 from repro.experiments.common import format_table
 from repro.runner import SweepRunner, call_unit, cmp_unit
+from repro.telemetry import Telemetry
 from repro.workloads import make_benchmark
 
 #: A memoizable app paired with an unmemoizable one.
@@ -30,14 +31,21 @@ def detailed_tier(n_slices: int, slice_instructions: int) -> dict:
         make_benchmark(name, seed=5, base_addr=(i + 1) << 34)
         for i, name in enumerate(PAIR)
     ]
+    tele, trace = Telemetry.recording(kinds={"migration"})
     detailed = DetailedMirageCluster(
         benches, SCMPKIArbitrator(),
         slice_instructions=slice_instructions,
+        telemetry=tele,
     ).run(n_slices=n_slices)
+    migrations = trace.records("migration")
     return {
         "ooo_share": dict(zip(detailed.app_names, detailed.ooo_share)),
         "stp": detailed.stp,
-        "sc_bytes_transferred": detailed.sc_bytes_transferred,
+        # Summed from the telemetry migration records — structurally
+        # the same accounting the interval tier emits.
+        "sc_bytes_transferred": sum(m.sc_bytes for m in migrations),
+        "migration_charged_cycles": sum(
+            m.charged_cycles for m in migrations),
     }
 
 

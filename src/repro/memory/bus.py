@@ -9,7 +9,7 @@ experiments (Figure 15) read contention delay from here.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 
 @dataclass(slots=True)

@@ -23,8 +23,9 @@ from pathlib import Path
 from typing import Any
 
 import repro
-from repro.cmp.system import CMPResult, IntervalSample
+from repro.cmp.system import CMPResult
 from repro.runner.units import WorkUnit
+from repro.telemetry.events import IntervalRecord
 
 #: Sentinel distinguishing "not cached" from a legitimately-None payload.
 MISS = object()
@@ -52,7 +53,7 @@ def decode_payload(envelope: dict) -> Any:
     if envelope["type"] == "CMPResult":
         fields = dict(envelope["value"])
         fields["history"] = [
-            IntervalSample(**sample)
+            IntervalRecord(**sample)
             for sample in fields.get("history", [])
         ]
         return CMPResult(**fields)

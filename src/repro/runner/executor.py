@@ -7,19 +7,31 @@ returned without executing; the rest fan out over a
 ``ProcessPoolExecutor`` when ``jobs > 1`` (falling back to the serial
 path for pickling-hostile units or when worker processes cannot be
 spawned) and are written back to the cache as they complete.
+
+With ``trace=`` set, every CMP unit is forced to record its
+per-interval history and the runner appends the telemetry trace —
+one run record per unit followed by its interval records — to the
+JSONL file *in unit order, from the parent process*.  Serial,
+parallel and cache-hit executions of the same units therefore write
+byte-identical traces.
 """
 
 from __future__ import annotations
 
+import dataclasses
 import pickle
 import time
 from concurrent.futures import ProcessPoolExecutor, as_completed
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import Any, Sequence
 
+from repro.cmp.system import CMPResult
 from repro.runner import units as units_mod
 from repro.runner.cache import MISS, ResultCache
 from repro.runner.units import WorkUnit
+from repro.telemetry.events import RunRecord
+from repro.telemetry.sinks import dump_record
 
 
 @dataclass
@@ -33,6 +45,7 @@ class RunnerStats:
     unit_seconds: list[float] = field(default_factory=list)
     wall_seconds: float = 0.0
     mode: str = "serial"                 #: "serial" | "parallel"
+    trace_records: int = 0               #: JSONL records appended
 
     @property
     def total_units(self) -> int:
@@ -48,6 +61,8 @@ class RunnerStats:
                 f" {mean:.2f}s mean {max(self.unit_seconds):.2f}s max)")
         if self.cache_hits:
             parts.append(f"{self.cache_hits} from cache")
+        if self.trace_records:
+            parts.append(f"{self.trace_records} trace records")
         parts.append(f"{self.wall_seconds:.1f}s wall")
         return "; ".join(parts)
 
@@ -69,15 +84,18 @@ class SweepRunner:
         experiment: name folded into every cache key, so identical
             units cached under different experiments don't collide
             with a future schema change of either driver.
+        trace: JSONL file the telemetry trace of every CMP result is
+            appended to (``None`` disables tracing).
     """
 
     def __init__(self, *, jobs: int = 1, cache: ResultCache | None = None,
-                 experiment: str = ""):
+                 experiment: str = "", trace: str | Path | None = None):
         if jobs < 1:
             raise ValueError("jobs must be >= 1")
         self.jobs = jobs
         self.cache = cache
         self.experiment = experiment
+        self.trace = Path(trace) if trace is not None else None
         self.stats = RunnerStats(jobs=jobs)
 
     # ------------------------------------------------------------------
@@ -85,6 +103,16 @@ class SweepRunner:
         """Results for *units*, in order."""
         start = time.perf_counter()
         units = list(units)
+        if self.trace is not None:
+            # Tracing needs the per-interval history; forcing the flag
+            # here (rather than in each driver) also folds it into the
+            # cache key, so traced and untraced sweeps never share
+            # entries with mismatched history.
+            units = [
+                dataclasses.replace(u, record_history=True)
+                if u.kind == "cmp" else u
+                for u in units
+            ]
         results: list[Any] = [None] * len(units)
         pending: list[int] = []
         for i, unit in enumerate(units):
@@ -101,12 +129,42 @@ class SweepRunner:
             if self.cache is not None:
                 for i in pending:
                     self.cache.put(self.experiment, units[i], results[i])
+        if self.trace is not None:
+            self._append_trace(results)
         self.stats.wall_seconds += time.perf_counter() - start
         return results
 
     def run(self, unit: WorkUnit) -> Any:
         """Convenience for a single unit."""
         return self.map([unit])[0]
+
+    # ------------------------------------------------------------------
+    def _append_trace(self, results: Sequence[Any]) -> None:
+        """Append each CMP result's telemetry records, in unit order.
+
+        Runs in the parent process on the ordered ``results`` list, so
+        the trace bytes are independent of jobs/cache state.
+        """
+        self.trace.parent.mkdir(parents=True, exist_ok=True)
+        with open(self.trace, "a") as handle:
+            for result in results:
+                if not isinstance(result, CMPResult):
+                    continue
+                run = RunRecord(
+                    config=result.config_name,
+                    arbitrator=result.arbitrator_name,
+                    intervals=result.intervals,
+                    total_cycles=result.total_cycles,
+                    counters={
+                        "migrations": result.migrations,
+                        "energy_pj": result.energy_pj,
+                    },
+                )
+                handle.write(dump_record(run) + "\n")
+                self.stats.trace_records += 1
+                for record in result.history:
+                    handle.write(dump_record(record) + "\n")
+                    self.stats.trace_records += 1
 
     # ------------------------------------------------------------------
     def _execute(self, units, pending, results) -> None:

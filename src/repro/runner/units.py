@@ -39,7 +39,7 @@ from repro.arbiter import (
 from repro.arbiter.software import SoftwareArbitrator
 from repro.characterize import AppModel, analytic_model
 from repro.cmp import ClusterConfig, SIM_SCALE, TimeScale
-from repro.cmp.system import CMPResult, CMPSystem, run_homo
+from repro.cmp.system import CMPSystem, run_homo
 
 #: Arbitrator factories by display name (fresh instance per run: the
 #: fair arbitrators carry round-robin state).

@@ -74,6 +74,15 @@ class SCStats:
         self.writes = 0
         self.evictions = 0
 
+    def counters(self, prefix: str = "") -> dict[str, int]:
+        """Flatten the stats into telemetry counter entries."""
+        return {
+            prefix + "lookups": self.lookups,
+            prefix + "misses": self.misses,
+            prefix + "writes": self.writes,
+            prefix + "evictions": self.evictions,
+        }
+
 
 @dataclass(slots=True)
 class _Entry:

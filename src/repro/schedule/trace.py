@@ -10,7 +10,7 @@ only replays when the dynamic path matches.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.isa.instructions import Instruction
 

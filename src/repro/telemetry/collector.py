@@ -1,0 +1,70 @@
+"""The telemetry hub: typed counters plus event fan-out to sinks.
+
+One :class:`Telemetry` instance rides along with a simulation (either
+tier).  Phases bump :class:`Counters` unconditionally — they are cheap
+totals — but only *build* event records when some attached sink
+subscribed to that kind (:meth:`Telemetry.wants`), so uninstrumented
+runs keep their old cost.
+"""
+
+from __future__ import annotations
+
+from repro.telemetry.events import TelemetryEvent
+from repro.telemetry.profiler import PhaseProfiler
+from repro.telemetry.sinks import MemorySink, TelemetrySink
+
+
+class Counters(dict):
+    """Typed counter map: ``name -> running numeric total``.
+
+    Names are dotted ``layer.metric`` strings
+    (``"migration.sc_bytes"``, ``"ooo.instructions"``, ...).
+    """
+
+    def bump(self, name: str, value=1) -> None:
+        self[name] = self.get(name, 0) + value
+
+    def merge(self, other) -> None:
+        """Add every counter of *other* (any mapping) into this one."""
+        for name, value in other.items():
+            self[name] = self.get(name, 0) + value
+
+
+class Telemetry:
+    """Collects counters, profiles phases, and fans events to sinks."""
+
+    def __init__(self, sinks=()):
+        self.sinks: list[TelemetrySink] = list(sinks)
+        self.counters = Counters()
+        self.profiler = PhaseProfiler()
+
+    # -- sinks ---------------------------------------------------------
+    def attach(self, sink: TelemetrySink) -> TelemetrySink:
+        """Add *sink* and return it (handy for local captures)."""
+        self.sinks.append(sink)
+        return sink
+
+    def detach(self, sink: TelemetrySink) -> None:
+        self.sinks.remove(sink)
+
+    def close(self) -> None:
+        for sink in self.sinks:
+            sink.close()
+
+    # -- events --------------------------------------------------------
+    def wants(self, kind: str) -> bool:
+        """True if any sink subscribed to *kind* — emitters check this
+        before building a record, so unobserved kinds cost nothing."""
+        return any(sink.wants(kind) for sink in self.sinks)
+
+    def emit(self, event: TelemetryEvent) -> None:
+        for sink in self.sinks:
+            if sink.wants(event.kind):
+                sink.emit(event)
+
+    # -- conveniences --------------------------------------------------
+    @classmethod
+    def recording(cls, kinds=None) -> tuple["Telemetry", MemorySink]:
+        """A fresh hub with one attached :class:`MemorySink`."""
+        telemetry = cls()
+        return telemetry, telemetry.attach(MemorySink(kinds))

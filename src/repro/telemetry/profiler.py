@@ -1,0 +1,59 @@
+"""Per-phase wall-time profiling for the interval engine.
+
+The engine times every phase invocation; the accumulated seconds show
+where a sweep's wall-clock actually goes (arbitration vs execution vs
+energy integration), which is the first thing to look at before
+optimizing either tier.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from time import perf_counter
+
+
+class PhaseProfiler:
+    """Accumulates wall-clock seconds and call counts per phase."""
+
+    def __init__(self):
+        self.seconds: dict[str, float] = {}
+        self.calls: dict[str, int] = {}
+
+    def add(self, name: str, seconds: float) -> None:
+        """Record one invocation of *name* taking *seconds*."""
+        self.seconds[name] = self.seconds.get(name, 0.0) + seconds
+        self.calls[name] = self.calls.get(name, 0) + 1
+
+    @contextmanager
+    def time(self, name: str):
+        """Context manager form of :meth:`add` for custom phases."""
+        start = perf_counter()
+        try:
+            yield
+        finally:
+            self.add(name, perf_counter() - start)
+
+    @property
+    def total_seconds(self) -> float:
+        return sum(self.seconds.values())
+
+    def as_dict(self) -> dict[str, dict]:
+        """``{phase: {"seconds": ..., "calls": ...}}`` for export."""
+        return {
+            name: {"seconds": self.seconds[name],
+                   "calls": self.calls.get(name, 0)}
+            for name in self.seconds
+        }
+
+    def summary(self) -> str:
+        """One line per phase, slowest first."""
+        if not self.seconds:
+            return "(no phases profiled)"
+        width = max(len(n) for n in self.seconds)
+        lines = []
+        for name, secs in sorted(self.seconds.items(),
+                                 key=lambda kv: -kv[1]):
+            calls = self.calls.get(name, 0)
+            lines.append(f"{name:<{width}}  {secs:8.4f}s  "
+                         f"{calls} calls")
+        return "\n".join(lines)

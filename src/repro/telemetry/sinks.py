@@ -1,0 +1,95 @@
+"""Telemetry sinks: where emitted events go.
+
+A sink declares which record kinds it wants (``kinds=None`` = all);
+the :class:`~repro.telemetry.collector.Telemetry` hub only *builds*
+records some sink asked for, so an unobserved simulation pays nothing
+for the instrumentation.
+"""
+
+from __future__ import annotations
+
+import json
+from abc import ABC, abstractmethod
+from pathlib import Path
+
+from repro.telemetry.events import TelemetryEvent, from_record, to_record
+
+
+class TelemetrySink(ABC):
+    """Consumes telemetry events of the kinds it subscribes to."""
+
+    #: Record kinds this sink accepts; ``None`` means every kind.
+    kinds: frozenset[str] | None = None
+
+    def wants(self, kind: str) -> bool:
+        return self.kinds is None or kind in self.kinds
+
+    @abstractmethod
+    def emit(self, event: TelemetryEvent) -> None:
+        """Consume one event (only called when :meth:`wants` is true)."""
+
+    def close(self) -> None:
+        """Flush and release any resources (default: nothing)."""
+
+
+class MemorySink(TelemetrySink):
+    """Collects events in a list — the in-process trace consumer."""
+
+    def __init__(self, kinds=None):
+        self.kinds = frozenset(kinds) if kinds is not None else None
+        self.events: list[TelemetryEvent] = []
+
+    def emit(self, event: TelemetryEvent) -> None:
+        self.events.append(event)
+
+    def records(self, kind: str | None = None) -> list[TelemetryEvent]:
+        """Stored events, optionally filtered to one kind."""
+        if kind is None:
+            return list(self.events)
+        return [e for e in self.events if e.kind == kind]
+
+
+class JSONLSink(TelemetrySink):
+    """Streams events to a JSON-Lines file (one record per line).
+
+    The file opens lazily on the first event; ``mode="a"`` lets many
+    runs of one CLI invocation share a single trace file.
+    """
+
+    def __init__(self, path, *, mode: str = "w", kinds=None):
+        if mode not in ("w", "a"):
+            raise ValueError("mode must be 'w' or 'a'")
+        self.path = Path(path)
+        self.mode = mode
+        self.kinds = frozenset(kinds) if kinds is not None else None
+        self.written = 0
+        self._handle = None
+
+    def emit(self, event: TelemetryEvent) -> None:
+        if self._handle is None:
+            if self.path.parent != Path("."):
+                self.path.parent.mkdir(parents=True, exist_ok=True)
+            self._handle = self.path.open(self.mode)
+        self._handle.write(dump_record(event) + "\n")
+        self.written += 1
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+
+def dump_record(event: TelemetryEvent) -> str:
+    """One event as a compact single-line JSON string."""
+    return json.dumps(to_record(event), separators=(",", ":"))
+
+
+def read_trace(path) -> list[TelemetryEvent]:
+    """Load a JSONL trace file back into typed events."""
+    events = []
+    with Path(path).open() as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                events.append(from_record(json.loads(line)))
+    return events

@@ -25,7 +25,7 @@ from __future__ import annotations
 import random
 import zlib
 from collections.abc import Iterator
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.isa.instructions import FP_REG_BASE, Instruction, OpClass
 from repro.workloads.profiles import BenchmarkProfile, get_profile

@@ -9,7 +9,7 @@ single category (HPD-only or LPD-only) and 22 mixing both at random.
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.workloads.profiles import (
     ALL_BENCHMARKS,

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.cli import main
-from repro.experiments import EXPERIMENTS
+from repro.experiments import EXPERIMENTS, ExperimentParams
 
 
 class TestCLI:
@@ -75,3 +75,102 @@ class TestCLI:
     def test_rejects_bad_jobs(self):
         with pytest.raises(SystemExit):
             main(["fig6", "--jobs", "0"])
+
+
+class TestTraceOption:
+    def test_fig5_trace_reproduces_history(self, tmp_path, capsys):
+        # The acceptance bar for the telemetry layer: the JSONL trace's
+        # interval records must equal the Figure 5 history, float for
+        # float, after the JSON round trip.
+        from repro.experiments.common import make_system
+        from repro.telemetry import read_trace
+        from repro.workloads import WorkloadMix
+
+        trace_file = tmp_path / "fig5.jsonl"
+        assert main(["fig5", "--quick", "--no-cache",
+                     "--trace", str(trace_file)]) == 0
+        out = capsys.readouterr().out
+        assert f"-> {trace_file}" in out
+
+        events = read_trace(trace_file)
+        kinds = {e.kind for e in events}
+        assert {"interval", "arbitration", "migration", "energy",
+                "run"} <= kinds
+
+        mix = WorkloadMix(
+            name="fig5", category="Random",
+            benchmarks=("bzip2", "gamess", "namd", "libquantum"))
+        system = make_system(mix, "SC-MPKI", record_history=True)
+        system.run(max_intervals=200)  # fig5's --quick interval count
+        assert [e for e in events if e.kind == "interval"] \
+            == system.history
+
+    def test_trace_file_truncated_per_invocation(self, tmp_path, capsys):
+        trace_file = tmp_path / "trace.jsonl"
+        assert main(["fig5", "--quick", "--no-cache",
+                     "--trace", str(trace_file)]) == 0
+        first = trace_file.read_bytes()
+        assert main(["fig5", "--quick", "--no-cache",
+                     "--trace", str(trace_file)]) == 0
+        assert trace_file.read_bytes() == first
+        capsys.readouterr()
+
+    def test_runner_trace_identical_serial_cached_parallel(self, tmp_path):
+        # Same table, same trace bytes, whether the units were executed
+        # serially, replayed from cache, or fanned out over processes.
+        def run_headline(jobs, cache_dir, trace_file):
+            params = ExperimentParams(
+                quick=True, n_mixes=2, jobs=jobs, use_cache=True,
+                cache_dir=cache_dir, trace=trace_file)
+            return EXPERIMENTS["headline"].run(params)
+
+        cache = tmp_path / "cache"
+        traces = [tmp_path / f"t{i}.jsonl" for i in range(3)]
+        cold = run_headline(1, cache, traces[0])
+        warm = run_headline(1, cache, traces[1])
+        stats = EXPERIMENTS["headline"].last_runner.stats
+        assert stats.cache_hits == stats.total_units > 0
+        parallel = run_headline(2, tmp_path / "cache2", traces[2])
+        assert cold == warm == parallel
+        assert (traces[0].read_bytes() == traces[1].read_bytes()
+                == traces[2].read_bytes())
+        assert traces[0].stat().st_size > 0
+
+
+class TestTraceCommand:
+    @pytest.fixture()
+    def trace_file(self, tmp_path, capsys):
+        path = tmp_path / "fig5.jsonl"
+        main(["fig5", "--quick", "--no-cache", "--trace", str(path)])
+        capsys.readouterr()
+        return path
+
+    def test_summary_and_table(self, trace_file, capsys):
+        assert main(["trace", str(trace_file)]) == 0
+        out = capsys.readouterr().out
+        assert "records" in out and "interval" in out
+        assert "4:1-Mirage under SC-MPKI" in out
+        assert "bzip2" in out
+
+    def test_app_filter_and_limit(self, trace_file, capsys):
+        assert main(["trace", str(trace_file),
+                     "--app", "namd", "--limit", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "for namd" in out
+        table_rows = [line for line in out.splitlines()
+                      if line.split()[:2][-1:] == ["namd"]
+                      and line.split()[0].isdigit()]
+        assert len(table_rows) == 3
+        assert "bzip2" not in out
+
+    def test_missing_file_fails(self, tmp_path, capsys):
+        assert main(["trace", str(tmp_path / "nope.jsonl")]) == 1
+        assert "no such file" in capsys.readouterr().err
+
+    def test_trace_needs_a_path(self):
+        with pytest.raises(SystemExit):
+            main(["trace"])
+
+    def test_path_rejected_for_experiments(self, trace_file):
+        with pytest.raises(SystemExit):
+            main(["fig6", str(trace_file)])

@@ -9,7 +9,7 @@ from repro.arbiter import (
     SCMPKIFairArbitrator,
 )
 from repro.characterize import analytic_model
-from repro.cmp import ClusterConfig, PAPER_SCALE, SIM_SCALE, TimeScale
+from repro.cmp import ClusterConfig, PAPER_SCALE, SIM_SCALE
 from repro.cmp.migration import MigrationCostModel
 from repro.cmp.system import CMPSystem, run_homo
 

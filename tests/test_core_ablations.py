@@ -6,7 +6,6 @@ keep in the model — the same sanity checks a hardware study would run.
 
 from dataclasses import replace
 
-import pytest
 
 from repro.cores import InOrderCore, OutOfOrderCore
 from repro.cores.params import INO_PARAMS, OOO_PARAMS

@@ -1,13 +1,12 @@
 """Property-based tests over the core models themselves."""
 
-import itertools
 
 from hypothesis import given, settings, strategies as st
 
 from repro.cores import InOrderCore, OinOCore, OutOfOrderCore
 from repro.memory import MemoryHierarchy
 from repro.schedule import ScheduleCache, ScheduleRecorder
-from repro.workloads import ALL_BENCHMARKS, make_benchmark
+from repro.workloads import make_benchmark
 
 BENCH_NAMES = st.sampled_from(["hmmer", "gcc", "mcf", "bzip2",
                                "libquantum", "astar"])

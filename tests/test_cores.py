@@ -1,12 +1,10 @@
 """Unit tests for the three cycle-level core models."""
 
-import itertools
 
 import pytest
 
 from repro.cores import InOrderCore, OinOCore, OutOfOrderCore
 from repro.cores.functional_units import FUPool, SlotPool, fu_type_for
-from repro.cores.params import INO_PARAMS, OOO_PARAMS
 from repro.isa import Instruction, OpClass
 from repro.memory import MemoryHierarchy
 from repro.schedule import Schedule, ScheduleCache, ScheduleRecorder

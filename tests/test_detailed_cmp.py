@@ -5,7 +5,6 @@ the same qualitative dynamics must appear when real instructions run
 through real cores with real Schedule Cache transfers.
 """
 
-import pytest
 
 from repro.arbiter import MaxSTPArbitrator, SCMPKIArbitrator
 from repro.cmp.detailed import DetailedMirageCluster

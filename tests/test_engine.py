@@ -1,0 +1,131 @@
+"""Tests for the engine phase pipeline behind the interval tier."""
+
+import pytest
+
+from repro.cmp.system import IntervalSample
+from repro.engine import (
+    ArbitrationPhase,
+    EnginePhase,
+    EnergyPhase,
+    ExecutionPhase,
+    IntervalEngine,
+    MigrationPhase,
+    interval_tier_views,
+)
+from repro.experiments.common import make_system
+from repro.telemetry import IntervalRecord, MemorySink, Telemetry
+from repro.workloads import WorkloadMix
+
+MIX = WorkloadMix(name="engine", category="Random",
+                  benchmarks=("bzip2", "astar", "hmmer", "namd"))
+
+
+class TestPipelineAssembly:
+    def test_standard_phase_order(self):
+        system = make_system(MIX, "SC-MPKI")
+        assert [p.name for p in system.phases] == [
+            "arbitration", "migration", "execution", "energy"]
+
+    def test_duplicate_phase_names_rejected(self):
+        system = make_system(MIX, "SC-MPKI")
+        with pytest.raises(ValueError, match="duplicate"):
+            IntervalEngine(system.config, system.apps,
+                           [ExecutionPhase(), ExecutionPhase()])
+
+    def test_interval_sample_alias(self):
+        # The old history row type is the telemetry record now.
+        assert IntervalSample is IntervalRecord
+
+
+class TestCustomPhase:
+    def test_custom_phase_runs_every_interval(self):
+        class CountingPhase(EnginePhase):
+            name = "counting"
+
+            def __init__(self):
+                self.calls = 0
+
+            def run(self, ctx):
+                self.calls += 1
+                ctx.telemetry.counters.bump("counting.calls")
+
+        base = make_system(MIX, "SC-MPKI")
+        counting = CountingPhase()
+        telemetry = Telemetry()
+        engine = IntervalEngine(
+            base.config, base.apps,
+            [*base.phases, counting], telemetry=telemetry)
+        ctx = engine.run(max_intervals=25)
+        assert counting.calls == ctx.intervals == 25
+        assert telemetry.counters["counting.calls"] == 25
+        assert "counting" in telemetry.profiler.seconds
+
+
+class TestProfiler:
+    def test_all_phases_profiled(self):
+        system = make_system(MIX, "SC-MPKI")
+        system.run(max_intervals=30)
+        profiler = system.telemetry.profiler
+        assert set(profiler.seconds) == {
+            "arbitration", "migration", "execution", "energy"}
+        assert all(calls == 30 for calls in profiler.calls.values())
+        assert profiler.total_seconds > 0
+
+
+class TestViews:
+    def test_views_match_shared_builder(self):
+        system = make_system(MIX, "SC-MPKI")
+        system.run(max_intervals=40)
+        assert system._views() == interval_tier_views(system.apps)
+
+    def test_views_reflect_state(self):
+        system = make_system(MIX, "SC-MPKI")
+        system.run(max_intervals=40)
+        views = system._views()
+        assert [v.name for v in views] == list(MIX)
+        assert sum(v.on_ooo for v in views) <= system.config.n_producers
+        assert all(0.0 <= v.util <= 1.0 for v in views)
+
+
+class TestTelemetryNeutrality:
+    def test_observed_run_matches_unobserved(self):
+        # Attaching every sink must not perturb the simulation: the
+        # wants() gating only skips record construction, never state.
+        plain = make_system(MIX, "SC-MPKI")
+        observed = make_system(MIX, "SC-MPKI",
+                               telemetry=Telemetry(sinks=[MemorySink()]))
+        r_plain = plain.run(max_intervals=200)
+        r_observed = observed.run(max_intervals=200)
+        assert r_plain.speedups == r_observed.speedups
+        assert r_plain.energy_pj == r_observed.energy_pj
+        assert r_plain.intervals == r_observed.intervals
+        assert (r_plain.ooo_share_per_app
+                == r_observed.ooo_share_per_app)
+        assert r_plain.migrations == r_observed.migrations
+
+    def test_engine_reuse_across_runs(self):
+        # App state persists between run() calls; the interval index
+        # restarts (the white-box multi-run convention).
+        system = make_system(MIX, "SC-MPKI")
+        first = system.run(max_intervals=10)
+        done = [a.instr_done for a in system.apps]
+        second = system.run(max_intervals=10)
+        assert first.intervals == second.intervals == 10
+        assert all(after >= before for before, after in
+                   zip(done, (a.instr_done for a in system.apps)))
+
+
+class TestPhaseConstruction:
+    def test_phases_are_reusable_components(self):
+        # A pipeline can be assembled from scratch without CMPSystem.
+        base = make_system(MIX, "maxSTP")
+        phases = [
+            ArbitrationPhase(base.arbitrator),
+            MigrationPhase(base.migration),
+            ExecutionPhase(),
+            EnergyPhase(base.energy_model),
+        ]
+        engine = IntervalEngine(base.config, base.apps, phases)
+        ctx = engine.run(max_intervals=15)
+        assert ctx.intervals == 15
+        assert sum(ctx.ooo_share) == ctx.ooo_active_intervals

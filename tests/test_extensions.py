@@ -9,7 +9,6 @@ from repro.arbiter.software import SoftwareArbitrator
 from repro.characterize import analytic_model
 from repro.cmp import ClusterConfig
 from repro.cmp.multithreaded import MultithreadedMirage
-from repro.cmp.system import CMPSystem
 from repro.experiments import multithreaded, software_arbiter
 
 

@@ -6,7 +6,6 @@ arbitrated CMP on the interval tier, checking the invariants the paper
 builds its argument on.
 """
 
-import itertools
 
 import pytest
 

@@ -4,7 +4,6 @@ import pytest
 
 from repro.memory import (
     CoherenceDirectory,
-    CoreMemory,
     MemoryHierarchy,
     SharedBus,
     StridePrefetcher,

@@ -3,7 +3,6 @@
 import csv
 import json
 
-import pytest
 
 from repro.experiments import fig5_bzip2_timeline, fig6_area
 from repro.report import ascii_timeline, rows_to_csv, summary_table, to_json

@@ -6,7 +6,6 @@ import pytest
 
 from repro.isa import OpClass
 from repro.workloads import (
-    ALL_BENCHMARKS,
     HPD_BENCHMARKS,
     LPD_BENCHMARKS,
     SPEC_PROFILES,
