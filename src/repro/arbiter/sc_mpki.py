@@ -38,10 +38,16 @@ class SCMPKIArbitrator(Arbitrator):
             v for v in views
             if v.intervals_since_ooo >= self.starvation_intervals
         ]
-        candidates = sorted(
-            (v for v in views if self._score(v) > self.threshold),
-            key=self._score, reverse=True,
-        )
+        # Score each view exactly once (delta_sc_mpki is a computed
+        # property); the stable sort on the precomputed score keeps
+        # ties in view order, same as sorting with _score as the key.
+        scored = [(self._score(v), v) for v in views]
+        candidates = [
+            v for _, v in sorted(
+                (pair for pair in scored if pair[0] > self.threshold),
+                key=lambda pair: pair[0], reverse=True,
+            )
+        ]
         picked: list[int] = []
         for v in starving + candidates:
             if v.index not in picked:

@@ -1,0 +1,41 @@
+"""``repro.bench`` — the performance-measurement subsystem.
+
+A registry of named microbenchmarks over the simulator's hot paths
+(:mod:`repro.bench.registry`), a warm-up/repeat harness emitting
+schema-versioned ``BENCH_<label>.json`` reports
+(:mod:`repro.bench.harness`), and an old-vs-new regression comparator
+(:mod:`repro.bench.compare`).  ``mirage bench`` is the CLI front end;
+``docs/performance.md`` documents the workflow and the rules for
+committing a new baseline.
+"""
+
+from repro.bench.compare import (
+    BenchDelta,
+    Comparison,
+    DEFAULT_THRESHOLD,
+    compare_reports,
+)
+from repro.bench.harness import (
+    SCHEMA,
+    format_report,
+    machine_info,
+    read_report,
+    run_benchmarks,
+    write_report,
+)
+from repro.bench.registry import (
+    BENCHMARKS,
+    BenchContext,
+    Benchmark,
+    get,
+    names,
+    register,
+)
+
+__all__ = [
+    "BENCHMARKS", "Benchmark", "BenchContext", "register", "get",
+    "names",
+    "SCHEMA", "run_benchmarks", "write_report", "read_report",
+    "format_report", "machine_info",
+    "BenchDelta", "Comparison", "DEFAULT_THRESHOLD", "compare_reports",
+]

@@ -1,0 +1,141 @@
+"""Regression comparison between two bench reports.
+
+``mirage bench --compare OLD NEW`` diffs two ``BENCH_*.json`` files
+benchmark by benchmark on their *best* wall samples: a slowdown beyond
+the threshold is a regression (non-zero exit unless warn-only), a
+symmetric speedup is reported as an improvement, and benchmarks present
+on only one side are listed rather than silently dropped.  This is the
+gate CI runs against the committed baseline, and the evidence format
+perf PRs quote (see ``docs/performance.md`` for the baseline rules).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: Default tolerated slowdown before a benchmark counts as regressed.
+DEFAULT_THRESHOLD = 0.20
+
+
+@dataclass(frozen=True)
+class BenchDelta:
+    """Old-vs-new outcome for one benchmark present in both reports."""
+
+    name: str
+    tier: str
+    old_best: float
+    new_best: float
+    threshold: float
+
+    @property
+    def ratio(self) -> float:
+        """``new / old`` wall time; > 1 means the new side is slower."""
+        return self.new_best / max(1e-12, self.old_best)
+
+    @property
+    def speedup(self) -> float:
+        """``old / new`` wall time; > 1 means the new side is faster."""
+        return self.old_best / max(1e-12, self.new_best)
+
+    @property
+    def regressed(self) -> bool:
+        """True when new is slower than old beyond the threshold."""
+        return self.ratio > 1.0 + self.threshold
+
+    @property
+    def improved(self) -> bool:
+        """True when new is faster than old beyond the threshold."""
+        return self.speedup > 1.0 + self.threshold
+
+
+@dataclass
+class Comparison:
+    """The full old-vs-new verdict ``compare_reports`` produces."""
+
+    old_label: str
+    new_label: str
+    threshold: float
+    deltas: list[BenchDelta]
+    only_old: list[str]
+    only_new: list[str]
+
+    @property
+    def regressions(self) -> list[BenchDelta]:
+        """Deltas where the new side is slower beyond the threshold."""
+        return [d for d in self.deltas if d.regressed]
+
+    @property
+    def improvements(self) -> list[BenchDelta]:
+        """Deltas where the new side is faster beyond the threshold."""
+        return [d for d in self.deltas if d.improved]
+
+    @property
+    def ok(self) -> bool:
+        """True when no benchmark regressed beyond the threshold."""
+        return not self.regressions
+
+    def summary(self) -> str:
+        """The ``mirage bench --compare`` report text."""
+        lines = [
+            f"comparing {self.old_label!r} -> {self.new_label!r} "
+            f"(threshold {self.threshold:.0%} slowdown)",
+        ]
+        if not self.deltas:
+            lines.append("no benchmarks in common")
+        else:
+            width = max(len(d.name) for d in self.deltas)
+            for d in self.deltas:
+                verdict = ("REGRESSED" if d.regressed
+                           else "improved" if d.improved else "ok")
+                lines.append(
+                    f"{d.name:<{width}}  {d.old_best:8.4f}s -> "
+                    f"{d.new_best:8.4f}s  x{d.speedup:5.2f}  {verdict}")
+        for name in self.only_old:
+            lines.append(f"{name}: only in {self.old_label!r} (removed?)")
+        for name in self.only_new:
+            lines.append(f"{name}: only in {self.new_label!r} (new)")
+        n_reg = len(self.regressions)
+        n_imp = len(self.improvements)
+        lines.append(
+            f"{len(self.deltas)} compared: {n_reg} regressed, "
+            f"{n_imp} improved, {len(self.deltas) - n_reg - n_imp} "
+            f"within threshold")
+        return "\n".join(lines)
+
+
+def compare_reports(old: dict, new: dict, *,
+                    threshold: float = DEFAULT_THRESHOLD) -> Comparison:
+    """Diff two report dicts (see :mod:`repro.bench.harness`).
+
+    Args:
+        old: the reference report (committed baseline, usually).
+        new: the candidate report.
+        threshold: tolerated fractional slowdown, e.g. ``0.2`` flags
+            anything more than 20 % slower than *old*.
+
+    Returns:
+        A :class:`Comparison`; callers decide whether ``not ok`` is
+        fatal (CI's warn-only mode prints and moves on).
+    """
+    if threshold < 0:
+        raise ValueError("threshold must be >= 0")
+    old_rows = old.get("benchmarks", {})
+    new_rows = new.get("benchmarks", {})
+    deltas = [
+        BenchDelta(
+            name=name,
+            tier=new_rows[name].get("tier", "unknown"),
+            old_best=old_rows[name]["best"],
+            new_best=new_rows[name]["best"],
+            threshold=threshold,
+        )
+        for name in old_rows if name in new_rows
+    ]
+    return Comparison(
+        old_label=old.get("label", "old"),
+        new_label=new.get("label", "new"),
+        threshold=threshold,
+        deltas=deltas,
+        only_old=[n for n in old_rows if n not in new_rows],
+        only_new=[n for n in new_rows if n not in old_rows],
+    )

@@ -1,0 +1,183 @@
+"""The measurement harness: warm up, repeat, report.
+
+:func:`run_benchmarks` drives any subset of the registry: each probe
+gets ``warmup`` untimed invocations (JIT-free Python still benefits —
+allocator pools, import side effects, branch-predictor-warm OS pages)
+followed by ``repeats`` timed ones, every invocation on a fresh
+:class:`~repro.bench.registry.BenchContext` so state never leaks
+between repetitions.  The outcome is a schema-versioned report dict
+(:data:`SCHEMA`) that :func:`write_report` serializes as
+``BENCH_<label>.json`` — wall-clock samples, the per-phase
+:class:`~repro.telemetry.profiler.PhaseProfiler` breakdown, counter
+totals, the git revision and machine identity — and
+:mod:`repro.bench.compare` diffs two of.
+
+The *best* (minimum) wall sample is the comparison statistic: noise on
+a busy machine only ever adds time, so the minimum is the stable
+estimate of what the code costs.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import subprocess
+import time
+from pathlib import Path
+
+import repro
+from repro.bench.registry import BENCHMARKS, BenchContext, get
+
+#: Report schema identifier; bump when the JSON layout changes shape.
+SCHEMA = "mirage-bench/v1"
+
+
+def machine_info() -> dict:
+    """Identity of the machine the samples were taken on."""
+    return {
+        "platform": platform.platform(),
+        "python": platform.python_version(),
+        "implementation": platform.python_implementation(),
+        "cpu_count": os.cpu_count() or 1,
+    }
+
+
+def git_rev() -> str | None:
+    """The repository HEAD revision, or ``None`` outside a checkout.
+
+    A ``+dirty`` suffix marks reports measured from a tree with
+    uncommitted changes — such a report describes code no commit
+    matches and must not be committed as a baseline.
+    """
+    cwd = Path(__file__).resolve().parent
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            capture_output=True, text=True, timeout=10, cwd=cwd,
+        )
+    except (OSError, subprocess.TimeoutExpired):
+        return None
+    rev = out.stdout.strip()
+    if out.returncode != 0 or not rev:
+        return None
+    try:
+        status = subprocess.run(
+            ["git", "status", "--porcelain"],
+            capture_output=True, text=True, timeout=10, cwd=cwd,
+        )
+        if status.returncode == 0 and status.stdout.strip():
+            rev += "+dirty"
+    except (OSError, subprocess.TimeoutExpired):
+        pass
+    return rev
+
+
+def run_benchmarks(names=None, *, repeats: int = 3, warmup: int = 1,
+                   quick: bool = False, label: str = "local",
+                   verbose: bool = False) -> dict:
+    """Measure the named microbenchmarks and build the report dict.
+
+    Args:
+        names: benchmark names to run (default: the whole registry).
+        repeats: timed invocations per benchmark (min becomes ``best``).
+        warmup: untimed invocations before measuring starts.
+        quick: trimmed workload sizes (CI smoke mode).
+        label: report label, embedded in the JSON and its filename.
+        verbose: print one line per benchmark as it completes.
+
+    Returns:
+        The schema-versioned report (see :data:`SCHEMA`).
+    """
+    if repeats < 1:
+        raise ValueError("repeats must be >= 1")
+    selected = [get(n) for n in names] if names else list(
+        BENCHMARKS.values())
+    report: dict = {
+        "schema": SCHEMA,
+        "label": label,
+        "version": repro.__version__,
+        "git_rev": git_rev(),
+        "created": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+        "machine": machine_info(),
+        "repeats": repeats,
+        "warmup": warmup,
+        "quick": quick,
+        "benchmarks": {},
+    }
+    for bench in selected:
+        for _ in range(warmup):
+            bench.run(BenchContext(quick=quick))
+        samples: list[float] = []
+        last_ctx: BenchContext | None = None
+        for _ in range(repeats):
+            ctx = BenchContext(quick=quick)
+            start = time.perf_counter()
+            bench.run(ctx)
+            samples.append(time.perf_counter() - start)
+            last_ctx = ctx
+        entry = {
+            "tier": bench.tier,
+            "description": bench.description,
+            "wall_seconds": samples,
+            "best": min(samples),
+            "mean": sum(samples) / len(samples),
+            "phases": last_ctx.telemetry.profiler.as_dict(),
+            "counters": dict(last_ctx.telemetry.counters),
+        }
+        report["benchmarks"][bench.name] = entry
+        if verbose:
+            print(f"{bench.name:<18} best {entry['best']:8.4f}s  "
+                  f"mean {entry['mean']:8.4f}s  ({repeats} runs)")
+    return report
+
+
+def write_report(report: dict, path: str | Path) -> Path:
+    """Serialize *report* to *path* (pretty-printed, trailing newline)."""
+    path = Path(path)
+    if path.parent != Path("."):
+        path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(report, indent=2, sort_keys=False) + "\n")
+    return path
+
+
+def read_report(path: str | Path) -> dict:
+    """Load a report and validate its schema marker."""
+    data = json.loads(Path(path).read_text())
+    schema = data.get("schema")
+    if schema != SCHEMA:
+        raise ValueError(
+            f"{path}: schema {schema!r} is not {SCHEMA!r} — regenerate "
+            f"the report with this version's 'mirage bench'")
+    return data
+
+
+def format_report(report: dict) -> str:
+    """Human-readable table of one report's headline numbers."""
+    rev = report.get("git_rev") or "unknown"
+    rev, _, dirty = rev.partition("+")
+    short_rev = rev[:12] + ("+" + dirty if dirty else "")
+    lines = [
+        f"label {report['label']}  version {report['version']}"
+        f"  rev {short_rev}"
+        f"  ({report['repeats']} repeats"
+        + (", quick)" if report.get("quick") else ")"),
+    ]
+    rows = report["benchmarks"]
+    if not rows:
+        return lines[0] + "\n(no benchmarks)"
+    width = max(len(n) for n in rows)
+    for name, entry in rows.items():
+        phases = entry.get("phases", {})
+        top = max(phases, key=lambda k: phases[k]["seconds"],
+                  default=None)
+        top_txt = ""
+        if top is not None and entry["best"] > 0:
+            share = phases[top]["seconds"] / max(
+                1e-12, sum(p["seconds"] for p in phases.values()))
+            top_txt = f"  top phase {top} ({share:4.0%})"
+        lines.append(
+            f"{name:<{width}}  [{entry['tier']:<8}]  "
+            f"best {entry['best']:8.4f}s  mean {entry['mean']:8.4f}s"
+            + top_txt)
+    return "\n".join(lines)

@@ -10,6 +10,11 @@ identical tables.
 ``--trace FILE`` streams the run's telemetry (see
 :mod:`repro.telemetry`) to a JSONL file; ``mirage trace FILE``
 inspects one afterwards.
+
+``mirage bench`` runs the :mod:`repro.bench` microbenchmarks and
+writes a schema-versioned ``BENCH_<label>.json``; ``mirage bench
+--compare OLD NEW`` diffs two such reports and fails on regressions
+(see ``docs/performance.md``).
 """
 
 from __future__ import annotations
@@ -32,6 +37,8 @@ def _print_listing() -> None:
           f"run every experiment above")
     print(f"{'trace':<{width}}  {'':<{fig_width}}  "
           f"inspect a JSONL telemetry trace (mirage trace FILE)")
+    print(f"{'bench':<{width}}  {'':<{fig_width}}  "
+          f"run the perf microbenchmarks (mirage bench --help)")
 
 
 def _trace_command(path: str, *, app: str | None, limit: int) -> int:
@@ -78,7 +85,107 @@ def _trace_command(path: str, *, app: str | None, limit: int) -> int:
     return 0
 
 
+def _bench_command(argv: list[str]) -> int:
+    """The ``mirage bench`` subcommand (its own option namespace)."""
+    from repro.bench import (
+        compare_reports,
+        DEFAULT_THRESHOLD,
+        format_report,
+        names,
+        read_report,
+        run_benchmarks,
+        write_report,
+    )
+
+    parser = argparse.ArgumentParser(
+        prog="mirage bench",
+        description=(
+            "Measure the simulator's hot paths with the repro.bench "
+            "microbenchmarks, or compare two saved reports."
+        ),
+    )
+    parser.add_argument(
+        "names", nargs="*",
+        help="benchmarks to run (default: all; see --list)")
+    parser.add_argument(
+        "--list", action="store_true",
+        help="print every registered microbenchmark and exit")
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="trimmed workload sizes (CI smoke mode)")
+    parser.add_argument(
+        "--repeat", type=int, default=3, metavar="N",
+        help="timed repetitions per benchmark (default: 3)")
+    parser.add_argument(
+        "--warmup", type=int, default=1, metavar="N",
+        help="untimed warm-up runs per benchmark (default: 1)")
+    parser.add_argument(
+        "--label", default="local",
+        help="report label; the default output file is "
+             "BENCH_<label>.json (default: local)")
+    parser.add_argument(
+        "--output", metavar="FILE",
+        help="report path (default: BENCH_<label>.json)")
+    parser.add_argument(
+        "--compare", nargs=2, metavar=("OLD", "NEW"),
+        help="diff two saved reports instead of measuring")
+    parser.add_argument(
+        "--threshold", type=float, default=DEFAULT_THRESHOLD,
+        metavar="FRAC",
+        help="tolerated slowdown fraction for --compare "
+             f"(default: {DEFAULT_THRESHOLD})")
+    parser.add_argument(
+        "--warn-only", action="store_true",
+        help="with --compare: report regressions but exit 0")
+    args = parser.parse_args(argv)
+
+    if args.list:
+        from repro.bench import BENCHMARKS
+
+        width = max(len(n) for n in BENCHMARKS)
+        for bench in BENCHMARKS.values():
+            print(f"{bench.name:<{width}}  [{bench.tier:<8}]  "
+                  f"{bench.description}")
+        return 0
+
+    if args.compare:
+        old_path, new_path = args.compare
+        try:
+            comparison = compare_reports(
+                read_report(old_path), read_report(new_path),
+                threshold=args.threshold)
+        except (OSError, ValueError) as exc:
+            print(f"mirage bench: {exc}", file=sys.stderr)
+            return 2
+        print(comparison.summary())
+        if not comparison.ok and not args.warn_only:
+            return 1
+        return 0
+
+    unknown = [n for n in args.names if n not in names()]
+    if unknown:
+        parser.error(
+            f"unknown benchmark(s) {', '.join(unknown)} — "
+            f"choose from: {', '.join(names())}")
+    if args.repeat < 1:
+        parser.error("--repeat must be >= 1")
+    report = run_benchmarks(
+        args.names or None, repeats=args.repeat, warmup=args.warmup,
+        quick=args.quick, label=args.label, verbose=True)
+    out = Path(args.output) if args.output else Path(
+        f"BENCH_{args.label}.json")
+    write_report(report, out)
+    print(f"\n{format_report(report)}")
+    print(f"[bench] report -> {out}")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
+    argv = sys.argv[1:] if argv is None else list(argv)
+    if argv[:1] == ["bench"]:
+        # `bench` owns its option namespace (repeat counts, compare
+        # paths); route before the experiment parser sees them.
+        return _bench_command(argv[1:])
     parser = argparse.ArgumentParser(
         prog="mirage",
         description=(

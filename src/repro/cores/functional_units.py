@@ -73,6 +73,14 @@ class SlotPool:
         """First cycle >= *cycle* with *span* consecutive free slots."""
         used = self._used
         cap = self.capacity
+        if span == 1:
+            # Pipelined ops (the overwhelmingly common case): a plain
+            # scan without the inner offset loop.
+            c = cycle
+            get = used.get
+            while get(c, 0) >= cap:
+                c += 1
+            return c
         c = cycle
         while True:
             for offset in range(span):
@@ -85,8 +93,11 @@ class SlotPool:
     def reserve(self, cycle: int, span: int = 1) -> None:
         """Consume one slot in each of cycles [cycle, cycle+span)."""
         used = self._used
-        for c in range(cycle, cycle + span):
-            used[c] = used.get(c, 0) + 1
+        if span == 1:
+            used[cycle] = used.get(cycle, 0) + 1
+        else:
+            for c in range(cycle, cycle + span):
+                used[c] = used.get(c, 0) + 1
         if cycle > self._horizon:
             self._horizon = cycle
         if len(used) > self._prune_at:
@@ -108,12 +119,45 @@ class FUPool:
         counts = dict(DEFAULT_FU_COUNTS if counts is None else counts)
         self.issue_slots = SlotPool(width)
         self.units = {fu: SlotPool(n) for fu, n in counts.items()}
+        # Hot-path tables indexed by the OpClass int value: issue_at
+        # runs once per dynamic instruction, so the per-call enum hash
+        # for the unit lookup and the _UNPIPELINED probe are paid here
+        # instead.
+        self._unit_by_op = tuple(
+            self.units[_FU_FOR_OPCLASS[op]] for op in OpClass)
+        self._pipelined_by_op = tuple(
+            op not in _UNPIPELINED for op in OpClass)
 
     def issue_at(self, opclass: OpClass, earliest: int, latency: int) -> int:
         """Find and reserve the first cycle >= *earliest* that has both a
         free issue slot and a free unit; returns the issue cycle."""
-        unit = self.units[fu_type_for(opclass)]
-        span = latency if opclass in _UNPIPELINED else 1
+        unit = self._unit_by_op[opclass]
+        if self._pipelined_by_op[opclass]:
+            # Single-cycle occupancy: scan for the first cycle where
+            # both pools have a slot (what the general ping-pong loop
+            # below converges to), then reserve inline.
+            issue = self.issue_slots
+            iused = issue._used
+            icap = issue.capacity
+            uused = unit._used
+            ucap = unit.capacity
+            iget = iused.get
+            uget = uused.get
+            c = earliest
+            while iget(c, 0) >= icap or uget(c, 0) >= ucap:
+                c += 1
+            iused[c] = iget(c, 0) + 1
+            if c > issue._horizon:
+                issue._horizon = c
+            if len(iused) > issue._prune_at:
+                issue._prune()
+            uused[c] = uget(c, 0) + 1
+            if c > unit._horizon:
+                unit._horizon = c
+            if len(uused) > unit._prune_at:
+                unit._prune()
+            return c
+        span = latency
         cycle = earliest
         while True:
             cycle = self.issue_slots.earliest_free(cycle)

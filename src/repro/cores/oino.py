@@ -211,6 +211,10 @@ class OinOCore:
                 unissued_stores.setdefault(
                     insn.mem_addr >> _LINE_SHIFT, []
                 ).append(pos)
+        if not unissued_stores:
+            # No stores, no store->load order to break: most traces
+            # take this exit and skip the replay scan entirely.
+            return False
         for pos in order:
             insn = insns[pos]
             if insn.is_store:
@@ -264,7 +268,7 @@ class OinOCore:
             line = insn.pc >> _LINE_SHIFT
             if line != self._last_fetch_line:
                 res = self.memory.fetch(insn.pc, now=self._fetch_cycle)
-                energy.bump("icache")
+                energy["icache"] += 1
                 if not res.l1_hit:
                     stats.l1i_misses += 1
                     if not res.l2_hit:
@@ -276,15 +280,15 @@ class OinOCore:
                 self._fetch_cycle += 1
                 self._fetched_in_cycle = 0
             self._fetched_in_cycle += 1
-            energy.bump("fetch")
-            energy.bump("decode")
+            energy["fetch"] += 1
+            energy["decode"] += 1
 
             complete = self._issue_one(insn, energy, replay=False)
 
             # ---------------- branches ----------------
             if insn.is_branch:
                 stats.branches += 1
-                energy.bump("bpred")
+                energy["bpred"] += 1
                 wrong = self.predictor.access(insn.pc, insn.taken)
                 insn.mispredicted = wrong
                 if insn.taken:
@@ -302,7 +306,12 @@ class OinOCore:
     def _issue_one(
         self, insn: Instruction, energy: EnergyEvents, *, replay: bool
     ) -> int:
-        """Common in-order issue/execute step; returns completion cycle."""
+        """Common in-order issue/execute step; returns completion cycle.
+
+        Called once per dynamic instruction from both execution modes,
+        so energy events are recorded with direct ``Counter`` item
+        updates (same keys, same totals as ``bump``, one call fewer).
+        """
         p = self.params
         stats = self._stats
         if replay:
@@ -316,7 +325,7 @@ class OinOCore:
             t = reg_ready.get(src, 0)
             if t > earliest:
                 earliest = t
-        energy.bump("rf_read", len(insn.srcs))
+        energy["rf_read"] += len(insn.srcs)
         if insn.is_load:
             dep = self._store_line_ready.get(insn.mem_addr >> _LINE_SHIFT, 0)
             if dep > earliest:
@@ -324,9 +333,9 @@ class OinOCore:
         res = None
         missed = False
         if insn.is_mem:
-            energy.bump("dcache")
+            energy["dcache"] += 1
             if replay:
-                energy.bump("oino_lsq")
+                energy["oino_lsq"] += 1
             if insn.is_load:
                 res = self.memory.load(insn.pc, insn.mem_addr, now=earliest)
                 stats.loads += 1
@@ -338,7 +347,7 @@ class OinOCore:
                 stats.l1d_misses += 1
                 if not res.l2_hit:
                     stats.l2_misses += 1
-                energy.bump("l2")
+                energy["l2"] += 1
                 if replay:
                     slot = self._replay_ring[
                         self._replay_misses % OINO_REPLAY_LSQ_ENTRIES]
@@ -347,11 +356,12 @@ class OinOCore:
                 if slot > earliest:
                     earliest = slot
 
-        issue = self._fus.issue_at(insn.opclass, earliest, insn.base_latency)
+        base_latency = insn.base_latency
+        issue = self._fus.issue_at(insn.opclass, earliest, base_latency)
         self._last_issue = issue
-        energy.bump(fu_type_for(insn.opclass))
+        energy[fu_type_for(insn.opclass)] += 1
 
-        complete = issue + insn.base_latency
+        complete = issue + base_latency
         if res is not None:
             complete += res.latency - 1
             if insn.is_store and not replay:
@@ -367,7 +377,7 @@ class OinOCore:
                     self._misses += 1
         if insn.dst is not None:
             reg_ready[insn.dst] = complete
-            energy.bump("rf_write")
+            energy["rf_write"] += 1
         if complete > self._last_complete:
             self._last_complete = complete
         return complete

@@ -90,6 +90,7 @@ class ArbitrationPhase(EnginePhase):
         self.arbitrator = arbitrator
 
     def run(self, ctx: EngineContext) -> None:
+        """Fill ``ctx.chosen`` with the apps granted a producer OoO."""
         cfg = ctx.config
         ctx.chosen = []
         if cfg.n_producers > 0 and self.arbitrator is not None:
@@ -122,6 +123,7 @@ class MigrationPhase(EnginePhase):
         self.migration = cost_model
 
     def run(self, ctx: EngineContext) -> None:
+        """Charge ``ctx.mig_cost`` for every app changing core type."""
         cfg = ctx.config
         telemetry = ctx.telemetry
         for i, app in enumerate(ctx.apps):
@@ -161,6 +163,7 @@ class ExecutionPhase(EnginePhase):
     name = "execution"
 
     def run(self, ctx: EngineContext) -> None:
+        """Advance each app one interval, filling ``ctx.outcomes``."""
         wants_interval = ctx.telemetry.wants("interval")
         for i, app in enumerate(ctx.apps):
             ctx.outcomes[i] = self._advance(
@@ -265,6 +268,7 @@ class EnergyPhase(EnginePhase):
         self.energy_model = energy_model
 
     def run(self, ctx: EngineContext) -> None:
+        """Accumulate each app's interval energy from its outcome."""
         em = self.energy_model
         interval = ctx.interval
         telemetry = ctx.telemetry

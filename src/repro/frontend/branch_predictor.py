@@ -127,3 +127,35 @@ class TournamentPredictor(BranchPredictor):
             self._meta[idx] = _saturate(self._meta[idx], gsh_correct)
         self.bimodal.update(pc, taken)
         self.gshare.update(pc, taken)
+
+    def access(self, pc: int, taken: bool) -> bool:
+        """Fused predict+update: one table read per component.
+
+        The generic :meth:`BranchPredictor.access` costs up to four
+        sub-predictions per branch (meta choice, then both components
+        re-read during training).  Every dynamic branch in the detailed
+        tier funnels through here, so the indices and counter reads are
+        computed once and reused; the state transitions are exactly the
+        ones the unfused path performs, in the same order.
+        """
+        self.lookups += 1
+        bim = self.bimodal
+        gsh = self.gshare
+        slot = (pc >> 2) & self._mask
+        bim_idx = (pc >> 2) & bim._mask
+        gsh_idx = ((pc >> 2) ^ gsh._history) & gsh._mask
+        bim_counter = bim._table[bim_idx]
+        gsh_counter = gsh._table[gsh_idx]
+        bim_taken = bim_counter >= 2
+        gsh_taken = gsh_counter >= 2
+        predicted = gsh_taken if self._meta[slot] >= 2 else bim_taken
+        # Meta trains only when the components disagree.
+        if bim_taken != gsh_taken:
+            self._meta[slot] = _saturate(self._meta[slot], gsh_taken == taken)
+        bim._table[bim_idx] = _saturate(bim_counter, taken)
+        gsh._table[gsh_idx] = _saturate(gsh_counter, taken)
+        gsh._history = ((gsh._history << 1) | int(taken)) & gsh._history_mask
+        wrong = predicted != taken
+        if wrong:
+            self.mispredicts += 1
+        return wrong

@@ -66,6 +66,17 @@ def is_fp_class(opclass: OpClass) -> bool:
     return opclass in _FP_CLASSES
 
 
+#: Per-opclass lookup rows indexed by the IntEnum value.  The hot core
+#: loops read ``is_load``/``is_mem``/``base_latency`` several times per
+#: dynamic instruction; materializing them once at construction (plain
+#: slot attributes, filled from these tuples in ``__post_init__``)
+#: removes a Python property call plus an enum hash from every read.
+_IS_LOAD_BY_OP = tuple(op is OpClass.LOAD for op in OpClass)
+_IS_STORE_BY_OP = tuple(op is OpClass.STORE for op in OpClass)
+_IS_MEM_BY_OP = tuple(op in _MEM_CLASSES for op in OpClass)
+_BASE_LATENCY_BY_OP = tuple(BASE_LATENCY[op] for op in OpClass)
+
+
 @dataclass(slots=True)
 class Instruction:
     """One dynamic instruction.
@@ -82,6 +93,11 @@ class Instruction:
         target: Branch target pc (meaningful only when ``is_branch``).
         mispredicted: Set by the frontend model when the branch predictor
             got this instance wrong; drives redirect bubbles.
+        is_load: Derived: ``opclass is OpClass.LOAD``.
+        is_store: Derived: ``opclass is OpClass.STORE``.
+        is_mem: Derived: the instruction accesses data memory.
+        base_latency: Derived: execution latency excluding
+            memory-hierarchy time (:data:`BASE_LATENCY`).
     """
 
     seq: int
@@ -94,23 +110,17 @@ class Instruction:
     taken: bool = False
     target: int = 0
     mispredicted: bool = field(default=False, compare=False)
+    is_load: bool = field(init=False, compare=False, repr=False)
+    is_store: bool = field(init=False, compare=False, repr=False)
+    is_mem: bool = field(init=False, compare=False, repr=False)
+    base_latency: int = field(init=False, compare=False, repr=False)
 
-    @property
-    def base_latency(self) -> int:
-        """Execution latency excluding memory-hierarchy time."""
-        return BASE_LATENCY[self.opclass]
-
-    @property
-    def is_load(self) -> bool:
-        return self.opclass is OpClass.LOAD
-
-    @property
-    def is_store(self) -> bool:
-        return self.opclass is OpClass.STORE
-
-    @property
-    def is_mem(self) -> bool:
-        return self.opclass in _MEM_CLASSES
+    def __post_init__(self) -> None:
+        op = self.opclass
+        self.is_load = _IS_LOAD_BY_OP[op]
+        self.is_store = _IS_STORE_BY_OP[op]
+        self.is_mem = _IS_MEM_BY_OP[op]
+        self.base_latency = _BASE_LATENCY_BY_OP[op]
 
     @property
     def is_backward_branch(self) -> bool:

@@ -8,7 +8,12 @@ account for their traffic.
 
 from __future__ import annotations
 
+import operator
 from dataclasses import dataclass
+
+#: Victim-selection key for :meth:`Cache._fill` (kept at module level
+#: so the hot eviction path does not rebuild it per miss).
+_LINE_LAST_USE = operator.attrgetter("last_use")
 
 
 @dataclass(frozen=True, slots=True)
@@ -90,11 +95,15 @@ class Cache:
 
         On a miss the line is allocated (write-allocate); a dirty
         eviction increments ``stats.writebacks``.
+
+        ``_locate`` is inlined here: this is the single hottest call in
+        the detailed tier (every fetch/load/store lands here twice, L1
+        then L2).
         """
         self._clock += 1
         self.stats.accesses += 1
-        set_idx, tag = self._locate(addr)
-        lines = self._sets[set_idx]
+        tag = addr >> self._set_shift
+        lines = self._sets[tag & self._set_mask]
         line = lines.get(tag)
         if line is not None:
             line.last_use = self._clock
@@ -121,8 +130,11 @@ class Cache:
 
     def _fill(self, lines: dict[int, _Line], tag: int, write: bool) -> None:
         if len(lines) >= self.config.assoc:
-            victim_tag = min(lines, key=lambda t: lines[t].last_use)
-            victim = lines.pop(victim_tag)
+            # min over the values reaches the same line as min over the
+            # keys (same dict order, same last_use tie-break) without a
+            # per-candidate lambda invocation.
+            victim = min(lines.values(), key=_LINE_LAST_USE)
+            lines.pop(victim.tag)
             if victim.dirty:
                 self.stats.writebacks += 1
         lines[tag] = _Line(tag=tag, dirty=write, last_use=self._clock)

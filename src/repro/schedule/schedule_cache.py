@@ -105,6 +105,11 @@ class ScheduleCache:
         self.stats = SCStats()
         self._entries: dict[tuple[int, int], _Entry] = {}
         self._by_pc: dict[int, set[int]] = {}
+        # Count of launchable (not unmemoizable) paths per start pc,
+        # kept in lockstep with _entries so has_pc — called by the
+        # replay core for every trace head — is a dict probe instead
+        # of a scan over the pc's path set.
+        self._launchable: dict[int, int] = {}
         self._bytes = 0
         self._clock = 0
 
@@ -133,10 +138,7 @@ class ScheduleCache:
         Unmemoizable-marked entries are excluded: the trace predictor
         will not speculatively launch a schedule known to misbehave.
         """
-        return any(
-            not self._entries[(start_pc, ph)].unmemoizable
-            for ph in self._by_pc.get(start_pc, ())
-        )
+        return self._launchable.get(start_pc, 0) > 0
 
     def probe(self, start_pc: int, path_hash: int) -> Schedule | None:
         """Inspect an exact path without touching stats or recency."""
@@ -169,6 +171,8 @@ class ScheduleCache:
         self._entries[key] = _Entry(schedule=schedule, last_use=self._clock)
         self._by_pc.setdefault(schedule.start_pc, set()).add(
             schedule.path_hash)
+        self._launchable[schedule.start_pc] = self._launchable.get(
+            schedule.start_pc, 0) + 1
         self._bytes += size
         self.stats.writes += 1
         return True
@@ -178,6 +182,12 @@ class ScheduleCache:
         if entry is None:
             return
         self._bytes -= entry.schedule.storage_bytes
+        if not entry.unmemoizable:
+            left = self._launchable[key[0]] - 1
+            if left:
+                self._launchable[key[0]] = left
+            else:
+                del self._launchable[key[0]]
         paths = self._by_pc.get(key[0])
         if paths is not None:
             paths.discard(key[1])
@@ -201,12 +211,20 @@ class ScheduleCache:
     def mark_unmemoizable(self, start_pc: int) -> None:
         """Bias future eviction against a misbehaving trace (all paths)."""
         for path in self._by_pc.get(start_pc, ()):
-            self._entries[(start_pc, path)].unmemoizable = True
+            entry = self._entries[(start_pc, path)]
+            if not entry.unmemoizable:
+                entry.unmemoizable = True
+                left = self._launchable[start_pc] - 1
+                if left:
+                    self._launchable[start_pc] = left
+                else:
+                    del self._launchable[start_pc]
 
     def invalidate_all(self) -> None:
         """Drop all contents (e.g. SC handed to a different program)."""
         self._entries.clear()
         self._by_pc.clear()
+        self._launchable.clear()
         self._bytes = 0
 
     # ------------------------------------------------------------------

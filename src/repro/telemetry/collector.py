@@ -22,6 +22,7 @@ class Counters(dict):
     """
 
     def bump(self, name: str, value=1) -> None:
+        """Add *value* (default 1) to the counter *name*."""
         self[name] = self.get(name, 0) + value
 
     def merge(self, other) -> None:
@@ -45,9 +46,11 @@ class Telemetry:
         return sink
 
     def detach(self, sink: TelemetrySink) -> None:
+        """Remove a previously attached sink."""
         self.sinks.remove(sink)
 
     def close(self) -> None:
+        """Close every attached sink (flushes file-backed ones)."""
         for sink in self.sinks:
             sink.close()
 
@@ -58,6 +61,7 @@ class Telemetry:
         return any(sink.wants(kind) for sink in self.sinks)
 
     def emit(self, event: TelemetryEvent) -> None:
+        """Deliver *event* to every sink subscribed to its kind."""
         for sink in self.sinks:
             if sink.wants(event.kind):
                 sink.emit(event)

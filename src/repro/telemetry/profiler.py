@@ -35,6 +35,7 @@ class PhaseProfiler:
 
     @property
     def total_seconds(self) -> float:
+        """Wall seconds across every phase recorded so far."""
         return sum(self.seconds.values())
 
     def as_dict(self) -> dict[str, dict]:

@@ -22,6 +22,7 @@ class TelemetrySink(ABC):
     kinds: frozenset[str] | None = None
 
     def wants(self, kind: str) -> bool:
+        """True if this sink subscribed to records of *kind*."""
         return self.kinds is None or kind in self.kinds
 
     @abstractmethod
@@ -40,6 +41,7 @@ class MemorySink(TelemetrySink):
         self.events: list[TelemetryEvent] = []
 
     def emit(self, event: TelemetryEvent) -> None:
+        """Append the event to the in-memory list."""
         self.events.append(event)
 
     def records(self, kind: str | None = None) -> list[TelemetryEvent]:
@@ -66,6 +68,7 @@ class JSONLSink(TelemetrySink):
         self._handle = None
 
     def emit(self, event: TelemetryEvent) -> None:
+        """Write the event as one JSON line (opens the file lazily)."""
         if self._handle is None:
             if self.path.parent != Path("."):
                 self.path.parent.mkdir(parents=True, exist_ok=True)
@@ -74,6 +77,7 @@ class JSONLSink(TelemetrySink):
         self.written += 1
 
     def close(self) -> None:
+        """Close the file handle; a later emit reopens in append."""
         if self._handle is not None:
             self._handle.close()
             self._handle = None

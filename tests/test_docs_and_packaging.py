@@ -2,10 +2,12 @@
 
 Keeps the deliverables honest: every promised doc exists, every bench
 target DESIGN.md names is a real file, every public module carries a
-docstring, and the package version matches pyproject.
+docstring, public surfaces of the bench/engine/telemetry subsystems
+are fully documented, and the package version matches pyproject.
 """
 
 import importlib
+import inspect
 import pkgutil
 from pathlib import Path
 
@@ -14,6 +16,29 @@ import pytest
 import repro
 
 REPO = Path(__file__).resolve().parent.parent
+
+#: Subsystems whose exported symbols must each carry a docstring —
+#: including public methods and properties of exported classes.
+DOCUMENTED_SURFACES = [
+    "repro.bench",
+    "repro.bench.registry",
+    "repro.bench.harness",
+    "repro.bench.compare",
+    "repro.engine.phases",
+    "repro.telemetry.events",
+]
+
+
+def _public_exports(module):
+    """The module's __all__, or its public defined-here symbols."""
+    if hasattr(module, "__all__"):
+        return list(module.__all__)
+    return [
+        name for name, obj in vars(module).items()
+        if not name.startswith("_")
+        and (inspect.isclass(obj) or inspect.isfunction(obj))
+        and getattr(obj, "__module__", None) == module.__name__
+    ]
 
 
 class TestDocuments:
@@ -67,6 +92,27 @@ class TestPackaging:
             if not (module.__doc__ or "").strip():
                 missing.append(info.name)
         assert not missing, missing
+
+    @pytest.mark.parametrize("modname", DOCUMENTED_SURFACES)
+    def test_every_exported_symbol_has_a_docstring(self, modname):
+        """Exported functions, classes, and their public members."""
+        module = importlib.import_module(modname)
+        missing = []
+        for name in _public_exports(module):
+            obj = getattr(module, name)
+            if not (inspect.isclass(obj) or inspect.isfunction(obj)):
+                continue  # re-exported constants document themselves
+            if not (inspect.getdoc(obj) or "").strip():
+                missing.append(name)
+            if inspect.isclass(obj):
+                for attr, value in vars(obj).items():
+                    if attr.startswith("_"):
+                        continue
+                    if inspect.isfunction(value) or isinstance(
+                            value, property):
+                        if not (value.__doc__ or "").strip():
+                            missing.append(f"{name}.{attr}")
+        assert not missing, f"{modname}: undocumented {missing}"
 
     def test_examples_are_runnable_scripts(self):
         examples = sorted((REPO / "examples").glob("*.py"))
