@@ -1,0 +1,81 @@
+#!/usr/bin/env python3
+"""Capture the tier-identity tables for byte-exact comparison.
+
+Runs the experiments whose output the engine/backend refactors must
+never change — ``table1``, ``fig7``, and ``tier-validation`` — in
+``--quick --no-cache`` mode, strips the wall-clock-dependent runner
+chatter (``[runner] ...`` stats and ``--- <name> done in X.Xs ---``
+footers), and writes one ``<experiment>.txt`` per experiment.
+
+CI runs this script twice (PR tree vs base tree) and fails the
+tier-identity gate on any byte difference::
+
+    python scripts/capture_tables.py --src src --out /tmp/pr
+    python scripts/capture_tables.py --src base-tree/src --out /tmp/base
+    diff -ru /tmp/base /tmp/pr
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+#: The experiments whose printed tables must stay bit-identical.
+EXPERIMENTS = ("table1", "fig7", "tier-validation")
+
+
+def is_volatile(line: str) -> bool:
+    """True for timing lines that legitimately vary run to run."""
+    if line.startswith("[runner] "):
+        return True
+    return line.startswith("--- ") and " done in " in line
+
+
+def capture(experiment: str, src: Path) -> str:
+    """One experiment's table, with volatile timing lines stripped."""
+    env = dict(os.environ, PYTHONPATH=str(src))
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro", experiment,
+         "--quick", "--no-cache"],
+        env=env, capture_output=True, text=True,
+    )
+    if proc.returncode != 0:
+        sys.stderr.write(proc.stderr)
+        raise SystemExit(
+            f"capture_tables: {experiment} exited {proc.returncode}")
+    lines = [line for line in proc.stdout.splitlines()
+             if not is_volatile(line)]
+    return "\n".join(lines) + "\n"
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point: capture every experiment into ``--out``."""
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--src", default="src",
+        help="the src/ tree to put on PYTHONPATH (default: src)")
+    parser.add_argument(
+        "--out", required=True,
+        help="directory to write <experiment>.txt files into")
+    parser.add_argument(
+        "--experiments", nargs="*", default=list(EXPERIMENTS),
+        help=f"experiments to capture (default: {' '.join(EXPERIMENTS)})")
+    args = parser.parse_args(argv)
+
+    src = Path(args.src).resolve()
+    out = Path(args.out)
+    out.mkdir(parents=True, exist_ok=True)
+    for experiment in args.experiments:
+        text = capture(experiment, src)
+        path = out / f"{experiment}.txt"
+        path.write_text(text)
+        print(f"[capture] {experiment}: {len(text.splitlines())} lines "
+              f"-> {path}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

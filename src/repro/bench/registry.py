@@ -107,8 +107,8 @@ def names() -> list[str]:
 # ----------------------------------------------------------------------
 @register(
     "detailed-slice", tier="detailed",
-    description="DetailedMirageCluster: cycle-level slices with "
-                "arbitration, SC transfer, shared L2",
+    description="IntervalEngine over DetailedBackend: cycle-level "
+                "slices with arbitration, SC transfer, shared L2",
 )
 def bench_detailed_slice(ctx: BenchContext) -> None:
     """One small cycle-level Mirage cluster run, end to end."""
@@ -163,8 +163,8 @@ def bench_oino_replay(ctx: BenchContext) -> None:
 
 @register(
     "interval-engine", tier="interval",
-    description="IntervalEngine sweep: one arbitrated 8-app CMP run "
-                "through the four-phase pipeline",
+    description="IntervalEngine over AnalyticBackend: one arbitrated "
+                "8-app CMP run through the four-phase pipeline",
 )
 def bench_interval_engine(ctx: BenchContext) -> None:
     """One interval-tier CMP simulation over a standard mix."""

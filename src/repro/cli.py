@@ -41,9 +41,57 @@ def _print_listing() -> None:
           f"run the perf microbenchmarks (mirage bench --help)")
 
 
-def _trace_command(path: str, *, app: str | None, limit: int) -> int:
-    """Summarize and tabulate a JSONL telemetry trace."""
+#: ``mirage trace --kind`` choices: the record kinds with a table view.
+TRACE_KINDS = ("interval", "migration", "arbitration", "energy", "run")
+
+
+def _trace_table(events: list, kind: str, app: str | None,
+                 limit: int) -> int:
+    """Print one kind's tabular view; returns rows matched pre-limit."""
     from repro.experiments.common import format_table
+
+    rows = [
+        e for e in events
+        if e.kind == kind and (app is None or getattr(e, "app", None) == app)
+    ]
+    if not rows:
+        return 0
+    shown = rows[:limit]
+    print(f"\n{kind} records"
+          + (f" for {app}" if app else "")
+          + (f" (first {len(shown)} of {len(rows)})"
+             if len(rows) > len(shown) else f" ({len(shown)})"))
+    if kind == "interval":
+        print(format_table(
+            ["interval", "app", "core", "ipc", "speedup", "dSC-MPKI"],
+            [[e.interval, e.app, "OoO" if e.on_ooo else "InO",
+              e.ipc, e.speedup, e.delta_sc_mpki] for e in shown],
+        ))
+    elif kind == "migration":
+        print(format_table(
+            ["interval", "app", "dir", "sc_bytes", "charged",
+             "l1_dirty", "l1_lines"],
+            [[e.interval, e.app, "->OoO" if e.to_ooo else "->InO",
+              e.sc_bytes, e.charged_cycles, e.l1_flush_dirty,
+              e.l1_flush_lines] for e in shown],
+        ))
+    elif kind == "arbitration":
+        print(format_table(
+            ["interval", "chosen", "slots"],
+            [[e.interval, ",".join(e.chosen) or "(gated)", e.slots]
+             for e in shown],
+        ))
+    elif kind == "energy":
+        print(format_table(
+            ["interval", "app", "core", "energy_pj"],
+            [[e.interval, e.app, e.core, e.energy_pj] for e in shown],
+        ))
+    return len(rows)
+
+
+def _trace_command(path: str, *, app: str | None, limit: int,
+                   kind: str | None = None) -> int:
+    """Summarize and tabulate a JSONL telemetry trace."""
     from repro.telemetry import read_trace
 
     trace_path = Path(path)
@@ -57,31 +105,39 @@ def _trace_command(path: str, *, app: str | None, limit: int) -> int:
     counts = ", ".join(f"{n} {k}" for k, n in sorted(by_kind.items()))
     print(f"{path}: {len(events)} records ({counts or 'empty'})")
 
+    # Per-app migration counts: the first thing one checks when
+    # debugging backend parity, so it never needs JSONL spelunking.
+    mig_by_app: dict[str, int] = {}
     for event in events:
-        if event.kind == "run":
-            print(f"\nrun: {event.config} under {event.arbitrator} — "
-                  f"{event.intervals} intervals, "
-                  f"{event.total_cycles:.0f} cycles")
-            for name in sorted(event.counters):
-                print(f"  {name} = {event.counters[name]}")
+        if event.kind == "migration" and (app is None or event.app == app):
+            mig_by_app[event.app] = mig_by_app.get(event.app, 0) + 1
+    if mig_by_app:
+        per_app = ", ".join(
+            f"{name}={n}" for name, n in sorted(mig_by_app.items()))
+        print(f"migrations per app: {per_app}")
 
-    intervals = [
-        e for e in events
-        if e.kind == "interval" and (app is None or e.app == app)
-    ]
-    if intervals:
-        shown = intervals[:limit]
-        print(f"\ninterval records"
-              + (f" for {app}" if app else "")
-              + (f" (first {len(shown)} of {len(intervals)})"
-                 if len(intervals) > len(shown) else f" ({len(shown)})"))
-        print(format_table(
-            ["interval", "app", "core", "ipc", "speedup", "dSC-MPKI"],
-            [[e.interval, e.app, "OoO" if e.on_ooo else "InO",
-              e.ipc, e.speedup, e.delta_sc_mpki] for e in shown],
-        ))
-    elif app is not None:
-        print(f"\nno interval records for app {app!r}")
+    if kind in (None, "run"):
+        for event in events:
+            if event.kind == "run":
+                print(f"\nrun: {event.config} under {event.arbitrator} — "
+                      f"{event.intervals} intervals, "
+                      f"{event.total_cycles:.0f} cycles")
+                for name in sorted(event.counters):
+                    print(f"  {name} = {event.counters[name]}")
+
+    shown_any = 0
+    for table_kind in TRACE_KINDS:
+        if table_kind == "run":
+            continue
+        if kind is None and table_kind != "interval":
+            continue            # default view: the interval table only
+        if kind is not None and table_kind != kind:
+            continue
+        shown_any += _trace_table(events, table_kind, app, limit)
+    if not shown_any and (app is not None or kind not in (None, "run")):
+        desc = kind or "interval"
+        print(f"\nno {desc} records"
+              + (f" for app {app!r}" if app else ""))
     return 0
 
 
@@ -237,6 +293,11 @@ def main(argv: list[str] | None = None) -> int:
         "--limit", type=int, default=20, metavar="N",
         help="with 'mirage trace': interval rows to print (default: 20)",
     )
+    parser.add_argument(
+        "--kind", choices=TRACE_KINDS, metavar="KIND",
+        help="with 'mirage trace': only this record kind "
+             f"({', '.join(TRACE_KINDS)})",
+    )
     args = parser.parse_args(argv)
 
     if args.list or args.experiment == "list":
@@ -247,7 +308,10 @@ def main(argv: list[str] | None = None) -> int:
     if args.experiment == "trace":
         if args.path is None:
             parser.error("'mirage trace' needs a trace file path")
-        return _trace_command(args.path, app=args.app, limit=args.limit)
+        return _trace_command(args.path, app=args.app, limit=args.limit,
+                              kind=args.kind)
+    if args.kind is not None:
+        parser.error("--kind only makes sense with 'mirage trace'")
     if args.path is not None:
         parser.error("a file path only makes sense with 'mirage trace'")
     if args.experiment != "all" and args.experiment not in EXPERIMENTS:

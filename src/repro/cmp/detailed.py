@@ -9,15 +9,24 @@ the interval tier's dynamics bottom-up (see
 ``tests/test_detailed_cmp.py``) and as a reference implementation of
 the full mechanism.
 
+Both tiers are now *the same simulator* from the policy's point of
+view: :class:`DetailedMirageCluster` is a thin shell that assembles
+the standard :class:`~repro.engine.loop.IntervalEngine` pipeline —
+arbitration, migration, execution, energy — with a
+:class:`DetailedBackend` as the execution substrate.  The backend owns
+everything physical (core models, shared L2, the producer's
+predictor/BTB, Schedule Cache movement, L1-flush migration costs) and
+mirrors its measured counters into the shared
+:class:`~repro.engine.state.AppState` records, so arbitration views
+(:func:`~repro.engine.views.interval_tier_views`), migration
+accounting, and every telemetry record come from the same code paths
+as the interval tier.  ``tier-validation`` is literally "same engine,
+two backends".
+
 Time is sliced by *instructions per slice* per application (an
 approximation of the cycle-sliced hardware; fine for validation since
-arbitration decisions depend on per-slice rates, not absolute time).
-
-Both tiers emit the same :mod:`repro.telemetry` event schema —
-interval records per slice, migration records with the
-:class:`~repro.cmp.migration.MigrationCostModel` cost breakdown, and a
-run record with the merged core/SC counters — so tier-validation can
-diff them structurally.
+arbitration decisions depend on per-slice rates, not absolute time):
+one engine interval is one slice.
 """
 
 from __future__ import annotations
@@ -26,15 +35,27 @@ import itertools
 from dataclasses import dataclass
 from functools import lru_cache
 
-from repro.arbiter.base import AppView, Arbitrator
+from repro.arbiter.base import Arbitrator
 from repro.cmp.config import ClusterConfig
 from repro.cmp.migration import MigrationCostModel
 from repro.cores import OinOCore, OutOfOrderCore
-from repro.engine.views import build_app_view
+from repro.energy.model import CoreEnergyModel
+from repro.engine import (
+    ArbitrationPhase,
+    EnergyPhase,
+    ExecutionBackend,
+    ExecutionPhase,
+    IntervalEngine,
+    MigrationPhase,
+    MigrationTicket,
+    account_migration,
+)
+from repro.engine.phases import EngineContext
+from repro.engine.state import AppState, ExecOutcome
 from repro.frontend import BranchTargetBuffer, TournamentPredictor
 from repro.memory import MemoryHierarchy
 from repro.schedule import ScheduleCache, ScheduleRecorder
-from repro.telemetry import IntervalRecord, MigrationRecord, RunRecord, Telemetry
+from repro.telemetry import Telemetry
 from repro.workloads.generator import SyntheticBenchmark
 from repro.workloads.profiles import get_profile
 
@@ -50,39 +71,46 @@ def _alone_ooo_ipc(name: str) -> float:
     return get_profile(name).target_ipc_ooo
 
 
-@dataclass
-class _DetailedApp:
-    """One application's persistent state across slices."""
+@dataclass(slots=True)
+class DetailedAppState(AppState):
+    """One application's state, extended with the physical substrate.
 
-    name: str
-    stream: object                 #: persistent instruction generator
-    sc: ScheduleCache              #: travels with the app
-    recorder: ScheduleRecorder
-    consumer: OinOCore             #: its home core (warm bpred/L1)
-    instructions: int = 0
-    cycles: float = 0.0
-    ooo_cycles: float = 0.0
-    ooo_slices: int = 0
-    on_ooo: bool = False
-    ipc_last: float = 0.0
-    ipc_ooo_last: float | None = None
-    sc_mpki_ino: float = 0.0
-    sc_mpki_ooo: float | None = None
-    slices_since_ooo: int = 10**9
-    migrations: int = 0
+    The inherited :class:`~repro.engine.state.AppState` fields are the
+    shared language the engine phases read (``t_total`` holds measured
+    cycles, ``t_ooo`` producer-resident cycles, ``sc_mpki_*_last`` the
+    per-slice Schedule-Cache miss rates); the extras below are the
+    detailed tier's physical state that never crosses the backend seam.
+    """
+
+    stream: object = None          #: persistent instruction generator
+    sc: ScheduleCache = None       #: travels with the app
+    recorder: ScheduleRecorder = None
+    consumer: OinOCore = None      #: its home core (warm bpred/L1)
+    instructions: int = 0          #: instructions retired so far
+    ooo_slices: int = 0            #: slices spent on the producer
+    migrations: int = 0            #: producer<->consumer moves
+
+    @property
+    def name(self) -> str:
+        """The benchmark's name (the model here is the benchmark)."""
+        return self.model.name
 
 
 @dataclass
 class DetailedResult:
+    """Outcome of one detailed-tier cluster run."""
+
     app_names: list[str]
     ipcs: list[float]
     ipc_ooo_alone: list[float]
-    ooo_share: list[float]
+    ooo_share: list[float]           #: fraction of cycles on the OoO
     migrations: int
     sc_bytes_transferred: int
+    energy_pj: float = 0.0           #: shared EnergyPhase accounting
 
     @property
     def speedups(self) -> list[float]:
+        """Per-app measured IPC over the alone-on-OoO reference."""
         return [
             ipc / alone if alone else 0.0
             for ipc, alone in zip(self.ipcs, self.ipc_ooo_alone)
@@ -90,36 +118,51 @@ class DetailedResult:
 
     @property
     def stp(self) -> float:
+        """Mean of the per-app speedups (system throughput)."""
         s = self.speedups
         return sum(s) / len(s) if s else 0.0
 
 
-class DetailedMirageCluster:
-    """n consumer OinO cores + 1 producer OoO, cycle-level."""
+class DetailedBackend(ExecutionBackend):
+    """The cycle-level execution substrate (paper section 5).
+
+    Owns the physical cluster: per-consumer OinO cores over a shared
+    :class:`~repro.memory.MemoryHierarchy`, one producer OoO whose
+    predictor/BTB are shared by whichever application occupies it,
+    real Schedule Cache contents crossing the bus on migration, and
+    the L1 flushes that price a move.
+
+    Migration is *deferred*: :meth:`migrate` only notes the decision,
+    and the physical move happens when :meth:`advance` reaches that
+    application — flushing the producer's L1 as the outgoing
+    application is processed (possibly after the incoming one already
+    ran a slice on the still-warm producer) is part of the measured
+    hand-off cost, so the ordering is load-bearing.
+    """
+
+    name = "detailed"
 
     def __init__(
         self,
         benchmarks: list[SyntheticBenchmark],
-        arbitrator: Arbitrator,
         *,
+        config: ClusterConfig,
         sc_capacity: int | None = 8 * 1024,
         slice_instructions: int = 8_000,
-        telemetry: Telemetry | None = None,
     ):
-        self.arbitrator = arbitrator
+        self.config = config
         self.slice_instructions = slice_instructions
-        self.telemetry = telemetry or Telemetry()
         self.hier = MemoryHierarchy()
         self.producer_mem = self.hier.core_view(len(benchmarks))
         # The producer's frontend state is physical: one predictor and
         # BTB shared by whichever application currently occupies it.
         self.producer_bpred = TournamentPredictor()
         self.producer_btb = BranchTargetBuffer()
-        self.apps: list[_DetailedApp] = []
+        self.apps: list[DetailedAppState] = []
         for i, bench in enumerate(benchmarks):
             sc = ScheduleCache(sc_capacity)
-            self.apps.append(_DetailedApp(
-                name=bench.name,
+            self.apps.append(DetailedAppState(
+                model=bench,
                 stream=bench.stream(),
                 sc=sc,
                 recorder=ScheduleRecorder(sc),
@@ -129,111 +172,27 @@ class DetailedMirageCluster:
         # transfer stays on the cluster's shared bus below (so L1<->L2
         # contention is unchanged); this model prices each event with
         # the same breakdown the interval tier reports.
-        self.migration = MigrationCostModel(ClusterConfig(
-            n_consumers=len(benchmarks),
-            n_producers=1,
-            mirage=True,
-            sc_capacity_bytes=sc_capacity or 8 * 1024,
-        ))
+        self.migration = MigrationCostModel(config)
         self.sc_bytes_transferred = 0
-        self.total_migrations = 0
+        self._pending: list[bool | None] = [None] * len(benchmarks)
 
-    # ------------------------------------------------------------------
-    def _views(self) -> list[AppView]:
-        return [
-            build_app_view(
-                index=i,
-                name=app.name,
-                ipc_last=app.ipc_last,
-                ipc_ooo_last=app.ipc_ooo_last,
-                sc_mpki_ino=app.sc_mpki_ino,
-                sc_mpki_ooo=app.sc_mpki_ooo,
-                intervals_since_ooo=app.slices_since_ooo,
-                on_ooo=app.on_ooo,
-                t_ooo=app.ooo_cycles,
-                t_total=app.cycles,
-            )
-            for i, app in enumerate(self.apps)
-        ]
+    # -- ExecutionBackend ----------------------------------------------
+    def migrate(self, ctx: EngineContext, index: int, *,
+                to_ooo: bool) -> None:
+        """Note the decision; the move happens at this app's slice."""
+        self._pending[index] = to_ooo
+        return None
 
-    def run(self, *, n_slices: int = 20) -> DetailedResult:
-        telemetry = self.telemetry
-        for k in range(n_slices):
-            chosen = self.arbitrator.pick(
-                self._views(), interval_index=k, slots=1)
-            chosen_idx = chosen[0] if chosen else None
-            for i, app in enumerate(self.apps):
-                going_to_ooo = i == chosen_idx
-                if going_to_ooo != app.on_ooo:
-                    self._migrate(app, to_ooo=going_to_ooo, slice_index=k)
-                self._run_slice(app, k)
-        # Fold each app's final SC stats into the shared counter set.
-        for app in self.apps:
-            telemetry.counters.merge(
-                app.sc.stats.counters(prefix=f"sc.{app.name}."))
-        if telemetry.wants("run"):
-            telemetry.emit(RunRecord(
-                config=f"{len(self.apps)}:1-Mirage-detailed",
-                arbitrator=self.arbitrator.name,
-                intervals=n_slices,
-                total_cycles=sum(a.cycles for a in self.apps),
-                counters=dict(telemetry.counters),
-            ))
-        # Reference: each benchmark alone on an OoO, same length.
-        return DetailedResult(
-            app_names=[a.name for a in self.apps],
-            ipcs=[a.instructions / a.cycles if a.cycles else 0.0
-                  for a in self.apps],
-            ipc_ooo_alone=[_alone_ooo_ipc(a.name) for a in self.apps],
-            ooo_share=[a.ooo_cycles / a.cycles if a.cycles else 0.0
-                       for a in self.apps],
-            migrations=self.total_migrations,
-            sc_bytes_transferred=self.sc_bytes_transferred,
-        )
-
-    # ------------------------------------------------------------------
-    def _migrate(self, app: _DetailedApp, *, to_ooo: bool,
-                 slice_index: int) -> None:
-        app.on_ooo = to_ooo
-        app.migrations += 1
-        self.total_migrations += 1
-        # SC contents cross the shared bus; L1s drain on the way out.
-        payload = app.sc.used_bytes + 2048
-        self.hier.bus.transfer(int(app.cycles), payload)
-        self.sc_bytes_transferred += app.sc.used_bytes
-        if to_ooo:
-            dirty, dropped = app.consumer.memory.flush_for_migration()
-        else:
-            dirty, dropped = self.producer_mem.flush_for_migration()
-        event = self.migration.migrate(
-            app.name, now_cycles=int(app.cycles),
-            interval_index=slice_index, to_ooo=to_ooo,
-            sc_bytes=app.sc.used_bytes,
-        )
-        telemetry = self.telemetry
-        telemetry.counters.bump("migration.count")
-        telemetry.counters.bump("migration.sc_bytes", app.sc.used_bytes)
-        telemetry.counters.bump("migration.l1_flush_dirty", dirty)
-        telemetry.counters.bump("migration.l1_flush_lines", dropped)
-        if telemetry.wants("migration"):
-            telemetry.emit(MigrationRecord(
-                interval=slice_index,
-                app=app.name,
-                to_ooo=to_ooo,
-                sc_bytes=app.sc.used_bytes,
-                drain_cycles=event.drain_cycles,
-                l1_warmup_cycles=event.l1_warmup_cycles,
-                sc_transfer_cycles=event.sc_transfer_cycles,
-                bus_contention_cycles=event.bus_contention_cycles,
-                charged_cycles=float(event.total_cycles),
-                l1_flush_dirty=dirty,
-                l1_flush_lines=dropped,
-            ))
-
-    def _run_slice(self, app: _DetailedApp, slice_index: int) -> None:
+    def advance(self, ctx: EngineContext, index: int) -> ExecOutcome:
+        """Apply any pending move, then run one slice of instructions."""
+        app = ctx.apps[index]
+        pending = self._pending[index]
+        if pending is not None:
+            self._pending[index] = None
+            self._perform_migration(ctx, app, to_ooo=pending)
         n = self.slice_instructions
         window = itertools.islice(app.stream, n)
-        telemetry = self.telemetry
+        telemetry = ctx.telemetry
         if app.on_ooo:
             before_misses = app.sc.stats.misses
             core = OutOfOrderCore(
@@ -242,31 +201,153 @@ class DetailedMirageCluster:
             )
             result = core.run(window, n)
             misses = app.sc.stats.misses - before_misses
-            app.sc_mpki_ooo = 1000.0 * misses / max(1, result.instructions)
+            app.sc_mpki_ooo_last = (
+                1000.0 * misses / max(1, result.instructions))
             app.ipc_ooo_last = result.ipc
-            app.ooo_cycles += result.cycles
+            app.t_ooo += result.cycles
             app.ooo_slices += 1
-            app.slices_since_ooo = 0
+            app.intervals_since_ooo = 0
             telemetry.counters.merge(result.stats.counters(prefix="ooo."))
+            kind = "ooo"
+            memo_frac = 0.0
         else:
             result = app.consumer.run(window, n)
-            app.sc_mpki_ino = result.stats.sc_mpki()
-            app.slices_since_ooo += 1
+            app.sc_mpki_ino_last = result.stats.sc_mpki()
+            app.intervals_since_ooo += 1
             telemetry.counters.merge(result.stats.counters(prefix="ino."))
+            kind = "oino"
+            memo_frac = result.stats.memoized_fraction
         app.instructions += result.instructions
-        app.cycles += result.cycles
+        app.t_total += result.cycles
         app.ipc_last = result.ipc
-        if telemetry.wants("interval"):
-            telemetry.emit(IntervalRecord(
-                interval=slice_index,
-                app=app.name,
-                on_ooo=app.on_ooo,
-                ipc=result.ipc,
-                speedup=min(1.0, result.ipc
-                            / max(1e-9, _alone_ooo_ipc(app.name))),
-                sc_mpki_ino=app.sc_mpki_ino,
-                delta_sc_mpki=(
-                    (app.sc_mpki_ino - (app.sc_mpki_ooo or 0.1))
-                    / max(0.1, app.sc_mpki_ooo or 0.1)),
-                phase_id=-1,
-            ))
+        return ExecOutcome(
+            kind=kind, ipc=result.ipc, memo_frac=memo_frac,
+            effective=result.cycles, energy_cycles=result.cycles,
+            alone_ipc=_alone_ooo_ipc(app.model.name),
+            sc_mpki=app.sc_mpki_ino_last,
+            sc_mpki_ref=app.sc_mpki_ooo_last,
+        )
+
+    def finalize(self, ctx: EngineContext) -> None:
+        """Fold each app's final SC stats into the shared counters."""
+        for app in ctx.apps:
+            ctx.telemetry.counters.merge(
+                app.sc.stats.counters(prefix=f"sc.{app.model.name}."))
+
+    # -- the physical move ---------------------------------------------
+    def _perform_migration(self, ctx: EngineContext,
+                           app: DetailedAppState, *,
+                           to_ooo: bool) -> None:
+        app.on_ooo = to_ooo
+        app.migrations += 1
+        # SC contents cross the shared bus; L1s drain on the way out.
+        payload = app.sc.used_bytes + 2048
+        self.hier.bus.transfer(int(app.t_total), payload)
+        self.sc_bytes_transferred += app.sc.used_bytes
+        if to_ooo:
+            dirty, dropped = app.consumer.memory.flush_for_migration()
+        else:
+            dirty, dropped = self.producer_mem.flush_for_migration()
+        event = self.migration.migrate(
+            app.model.name, now_cycles=int(app.t_total),
+            interval_index=ctx.index, to_ooo=to_ooo,
+            sc_bytes=app.sc.used_bytes,
+        )
+        account_migration(ctx, app.model.name, MigrationTicket(
+            to_ooo=to_ooo,
+            sc_bytes=app.sc.used_bytes,
+            event=event,
+            charged=float(event.total_cycles),
+            l1_flush_dirty=dirty,
+            l1_flush_lines=dropped,
+            counters={"migration.l1_flush_dirty": dirty,
+                      "migration.l1_flush_lines": dropped},
+        ))
+
+
+class DetailedMirageCluster:
+    """n consumer OinO cores + 1 producer OoO, cycle-level.
+
+    A thin shell over :class:`~repro.engine.loop.IntervalEngine` with
+    the :class:`DetailedBackend` substrate — the same four phases, the
+    same arbitration views, and the same telemetry paths as the
+    interval tier's :class:`~repro.cmp.system.CMPSystem`.
+    """
+
+    def __init__(
+        self,
+        benchmarks: list[SyntheticBenchmark],
+        arbitrator: Arbitrator,
+        *,
+        sc_capacity: int | None = 8 * 1024,
+        slice_instructions: int = 8_000,
+        energy_model: CoreEnergyModel | None = None,
+        telemetry: Telemetry | None = None,
+    ):
+        self.arbitrator = arbitrator
+        self.telemetry = telemetry or Telemetry()
+        self.energy_model = energy_model or CoreEnergyModel()
+        config = ClusterConfig(
+            n_consumers=len(benchmarks),
+            n_producers=1,
+            mirage=True,
+            sc_capacity_bytes=sc_capacity or 8 * 1024,
+        )
+        self.backend = DetailedBackend(
+            benchmarks, config=config, sc_capacity=sc_capacity,
+            slice_instructions=slice_instructions)
+        self.apps = self.backend.apps
+        self.phases = [
+            ArbitrationPhase(arbitrator),
+            MigrationPhase(),
+            ExecutionPhase(),
+            EnergyPhase(self.energy_model),
+        ]
+        self.engine = IntervalEngine(
+            config, self.apps, self.phases, backend=self.backend,
+            telemetry=self.telemetry)
+
+    # -- substrate views (tests and callers poke these) ----------------
+    @property
+    def hier(self) -> MemoryHierarchy:
+        """The shared memory hierarchy (owned by the backend)."""
+        return self.backend.hier
+
+    @property
+    def migration(self) -> MigrationCostModel:
+        """The migration cost model (owned by the backend)."""
+        return self.backend.migration
+
+    @property
+    def sc_bytes_transferred(self) -> int:
+        """Total Schedule-Cache bytes shipped across the bus."""
+        return self.backend.sc_bytes_transferred
+
+    @property
+    def total_migrations(self) -> int:
+        """Total producer<->consumer moves performed."""
+        return self.migration.total_migrations
+
+    # ------------------------------------------------------------------
+    def run(self, *, n_slices: int = 20) -> DetailedResult:
+        """Drive the engine for *n_slices* intervals (one slice each)."""
+        ctx = self.engine.run(max_intervals=n_slices)
+        self.telemetry.summarize_run(
+            config=f"{len(self.apps)}:1-Mirage-detailed",
+            arbitrator=self.arbitrator.name,
+            intervals=ctx.intervals,
+            total_cycles=sum(a.t_total for a in self.apps),
+        )
+        # Reference: each benchmark alone on an OoO, same length.
+        return DetailedResult(
+            app_names=[a.model.name for a in self.apps],
+            ipcs=[a.instructions / a.t_total if a.t_total else 0.0
+                  for a in self.apps],
+            ipc_ooo_alone=[_alone_ooo_ipc(a.model.name)
+                           for a in self.apps],
+            ooo_share=[a.t_ooo / a.t_total if a.t_total else 0.0
+                       for a in self.apps],
+            migrations=self.total_migrations,
+            sc_bytes_transferred=self.sc_bytes_transferred,
+            energy_pj=sum(a.energy_pj for a in self.apps),
+        )

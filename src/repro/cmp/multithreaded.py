@@ -12,6 +12,12 @@ this module models it on the interval tier:
   contents are broadcast over the shared bus to every sibling whose
   execution is in the same phase.
 
+The cluster runs the standard :class:`~repro.engine.loop.IntervalEngine`
+pipeline over the :class:`~repro.engine.backends.AnalyticBackend`, with
+one extra step appended: :class:`BroadcastPhase`, the canonical example
+of slotting a custom :class:`~repro.engine.phases.EnginePhase` into the
+shared loop (see ``docs/api.md``).
+
 Comparing ``broadcast=True`` against per-thread memoization shows the
 claimed effect: near-equal throughput at a fraction of the OoO time.
 """
@@ -27,10 +33,14 @@ from repro.cmp.config import ClusterConfig
 from repro.cmp.migration import MigrationCostModel
 from repro.energy.model import CoreEnergyModel
 from repro.engine import (
+    AnalyticBackend,
+    ArbitrationPhase,
     EngineContext,
+    EnginePhase,
     EnergyPhase,
     ExecutionPhase,
-    interval_tier_views,
+    IntervalEngine,
+    MigrationPhase,
 )
 from repro.engine.state import AppState
 from repro.telemetry import Telemetry
@@ -50,13 +60,53 @@ class ThreadedResult:
 
     @property
     def stp(self) -> float:
+        """Mean thread speedup (system throughput)."""
         if not self.thread_speedups:
             return 0.0
         return sum(self.thread_speedups) / len(self.thread_speedups)
 
 
+class BroadcastPhase(EnginePhase):
+    """Share the producer's fresh schedules with in-phase siblings.
+
+    Runs after the standard four phases: the thread that just occupied
+    the producer broadcasts its Schedule Cache contents over the shared
+    bus to every consumer thread currently executing the same phase,
+    which adopts the better coverage without ever visiting the OoO.
+    """
+
+    name = "broadcast"
+
+    def __init__(self, model: AppModel, migration: MigrationCostModel):
+        self.model = model
+        self.migration = migration
+
+    def run(self, ctx: EngineContext) -> None:
+        """Broadcast from the chosen producer thread, if any."""
+        if not ctx.chosen:
+            return
+        cfg = ctx.config
+        producer = ctx.apps[ctx.chosen[0]]
+        payload = int(producer.sc_coverage * cfg.sc_capacity_bytes)
+        for i, thread in enumerate(ctx.apps):
+            if i == ctx.chosen[0] or thread.on_ooo:
+                continue
+            if (self.model.phase_at(thread.instr_done).phase_id
+                    == producer.sc_phase_id):
+                self.migration.bus.transfer(ctx.now, payload)
+                thread.sc_phase_id = producer.sc_phase_id
+                thread.sc_coverage = max(
+                    thread.sc_coverage, producer.sc_coverage)
+                ctx.telemetry.counters.bump("broadcast.transfers")
+
+
 class MultithreadedMirage:
-    """n homogeneous threads on one Mirage cluster."""
+    """n homogeneous threads on one Mirage cluster.
+
+    A thin shell over :class:`~repro.engine.loop.IntervalEngine`: the
+    standard pipeline plus :class:`BroadcastPhase` (skipped when
+    ``broadcast=False``), all on the analytic backend.
+    """
 
     def __init__(
         self,
@@ -82,77 +132,24 @@ class MultithreadedMirage:
             AppState(model=model, instr_done=float(i * skew_instructions))
             for i in range(config.n_consumers)
         ]
+        self.phases = [
+            ArbitrationPhase(self.arbitrator),
+            MigrationPhase(),
+            ExecutionPhase(),
+            EnergyPhase(self.energy_model),
+        ]
+        if broadcast:
+            self.phases.append(BroadcastPhase(model, self.migration))
+        self.engine = IntervalEngine(
+            config, self.threads, self.phases,
+            backend=AnalyticBackend(self.migration),
+            telemetry=self.telemetry)
 
     def run(self, *, max_intervals: int = 50_000) -> ThreadedResult:
-        cfg = self.config
-        ooo_active = 0
-        memoize_phases = 0
-        k = 0
-        # Threads behave exactly like independent applications of the
-        # same model between broadcasts, so execution and energy reuse
-        # the standard engine phases; arbitration and migration stay
-        # local because the broadcast step needs the chosen index.
-        execution = ExecutionPhase()
-        energy = EnergyPhase(self.energy_model)
-        n_threads = len(self.threads)
-        ctx = EngineContext(
-            config=cfg,
-            apps=self.threads,
-            telemetry=self.telemetry,
-            interval=cfg.scale.interval_cycles,
-            budget=cfg.scale.app_instruction_budget,
-            ooo_share=[0] * n_threads,
-        )
-        interval = ctx.interval
-
-        while k < max_intervals:
-            if all(t.completions >= 1 for t in self.threads):
-                break
-            chosen = self.arbitrator.pick(
-                interval_tier_views(self.threads),
-                interval_index=k, slots=cfg.n_producers,
-            )[: cfg.n_producers]
-            now = k * interval
-            ctx.index = k
-            ctx.now = now
-            ctx.chosen = chosen
-            ctx.mig_cost = [0.0] * n_threads
-            ctx.outcomes = [None] * n_threads
-            for i, thread in enumerate(self.threads):
-                should = i in chosen
-                if should != thread.on_ooo:
-                    sc_bytes = int(
-                        thread.sc_coverage * cfg.sc_capacity_bytes)
-                    event = self.migration.migrate(
-                        f"t{i}", now_cycles=now, interval_index=k,
-                        to_ooo=should, sc_bytes=sc_bytes,
-                    )
-                    ctx.mig_cost[i] = min(
-                        interval * 0.9, event.total_cycles)
-                    thread.on_ooo = should
-            if chosen:
-                ooo_active += 1
-                memoize_phases += 1
-            execution.run(ctx)
-            energy.run(ctx)
-            # Broadcast: the freshly produced schedules reach every
-            # sibling in the same phase, over the shared bus.
-            if self.broadcast and chosen:
-                producer = self.threads[chosen[0]]
-                payload = int(
-                    producer.sc_coverage * cfg.sc_capacity_bytes)
-                for i, thread in enumerate(self.threads):
-                    if i == chosen[0] or thread.on_ooo:
-                        continue
-                    if (self.model.phase_at(thread.instr_done).phase_id
-                            == producer.sc_phase_id):
-                        self.migration.bus.transfer(now, payload)
-                        thread.sc_phase_id = producer.sc_phase_id
-                        thread.sc_coverage = max(
-                            thread.sc_coverage, producer.sc_coverage)
-            k += 1
-
-        total_cycles = k * interval
+        """Run the cluster until every thread completes its budget."""
+        ctx = self.engine.run(max_intervals=max_intervals)
+        k = ctx.intervals
+        total_cycles = k * ctx.interval
         budget = ctx.budget
         speedups = []
         for thread in self.threads:
@@ -164,7 +161,7 @@ class MultithreadedMirage:
             broadcast=self.broadcast,
             intervals=k,
             thread_speedups=speedups,
-            ooo_active_fraction=ooo_active / k if k else 0.0,
-            memoize_phases=memoize_phases,
+            ooo_active_fraction=ctx.ooo_active_intervals / k if k else 0.0,
+            memoize_phases=ctx.ooo_active_intervals,
             energy_pj=sum(t.energy_pj for t in self.threads),
         )

@@ -25,6 +25,7 @@ from repro.cmp.config import ClusterConfig
 from repro.cmp.migration import MigrationCostModel
 from repro.energy.model import CoreEnergyModel
 from repro.engine import (
+    AnalyticBackend,
     ArbitrationPhase,
     EnergyPhase,
     ExecutionPhase,
@@ -34,7 +35,7 @@ from repro.engine import (
 from repro.engine.state import AppState
 from repro.engine.views import interval_tier_views
 from repro.metrics import system_throughput
-from repro.telemetry import IntervalRecord, MemorySink, RunRecord, Telemetry
+from repro.telemetry import IntervalRecord, MemorySink, Telemetry
 
 #: The bespoke history row is superseded by the telemetry schema's
 #: :class:`~repro.telemetry.events.IntervalRecord`; the old name stays
@@ -114,14 +115,16 @@ class CMPSystem:
         if record_history:
             self._history_sink = self.telemetry.attach(
                 MemorySink(kinds={"interval"}))
+        self.backend = AnalyticBackend(self.migration)
         self.phases = [
             ArbitrationPhase(arbitrator),
-            MigrationPhase(self.migration),
+            MigrationPhase(),
             ExecutionPhase(),
             EnergyPhase(self.energy_model),
         ]
         self.engine = IntervalEngine(
-            config, self.apps, self.phases, telemetry=self.telemetry)
+            config, self.apps, self.phases, backend=self.backend,
+            telemetry=self.telemetry)
 
     # ------------------------------------------------------------------
     @property
@@ -166,16 +169,12 @@ class CMPSystem:
                 self.migration.total_migrations / k if k else 0.0),
             history=self.history,
         )
-        telemetry = self.telemetry
-        telemetry.counters.bump("run.intervals", k)
-        if telemetry.wants("run"):
-            telemetry.emit(RunRecord(
-                config=cfg.name,
-                arbitrator=result.arbitrator_name,
-                intervals=k,
-                total_cycles=total_cycles,
-                counters=dict(telemetry.counters),
-            ))
+        self.telemetry.summarize_run(
+            config=cfg.name,
+            arbitrator=result.arbitrator_name,
+            intervals=k,
+            total_cycles=total_cycles,
+        )
         return result
 
 

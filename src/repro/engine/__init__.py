@@ -1,14 +1,25 @@
-"""The layered interval engine behind the CMP simulator.
+"""The layered interval engine behind both simulator tiers.
 
 :class:`IntervalEngine` drives an ordered pipeline of
-:class:`EnginePhase` steps — arbitration, migration, execution
-(Schedule-Cache coverage evolution), energy — over shared
-:class:`AppState` records, emitting structured events into
-:mod:`repro.telemetry`.  :class:`~repro.cmp.system.CMPSystem` is now a
-thin shell that assembles the standard pipeline; custom phases slot in
-alongside the standard four (see ``docs/api.md``).
+:class:`EnginePhase` steps — arbitration, migration, execution, energy
+— over shared :class:`AppState` records, emitting structured events
+into :mod:`repro.telemetry`.  The execution *substrate* is pluggable
+through the :class:`ExecutionBackend` protocol: the analytic tier
+(:class:`AnalyticBackend`, closed-form phase tables) and the detailed
+tier (:class:`~repro.cmp.detailed.DetailedBackend`, real instruction
+streams) run the same loop, phases, and telemetry paths.
+:class:`~repro.cmp.system.CMPSystem` and
+:class:`~repro.cmp.detailed.DetailedMirageCluster` are thin shells
+that assemble the standard pipeline; custom phases and backends slot
+in alongside the standard ones (see ``docs/api.md``).
 """
 
+from repro.engine.backends import (
+    ENGINE_CACHE_TAG,
+    AnalyticBackend,
+    ExecutionBackend,
+    MigrationTicket,
+)
 from repro.engine.loop import IntervalEngine
 from repro.engine.phases import (
     ArbitrationPhase,
@@ -17,20 +28,26 @@ from repro.engine.phases import (
     EnergyPhase,
     ExecutionPhase,
     MigrationPhase,
+    account_migration,
 )
 from repro.engine.state import AppState, ExecOutcome
 from repro.engine.views import build_app_view, interval_tier_views
 
 __all__ = [
+    "ENGINE_CACHE_TAG",
+    "AnalyticBackend",
     "AppState",
     "ArbitrationPhase",
     "EngineContext",
     "EnginePhase",
     "EnergyPhase",
     "ExecOutcome",
+    "ExecutionBackend",
     "ExecutionPhase",
     "IntervalEngine",
     "MigrationPhase",
+    "MigrationTicket",
+    "account_migration",
     "build_app_view",
     "interval_tier_views",
 ]

@@ -1,0 +1,224 @@
+"""Pluggable execution substrates behind the one interval loop.
+
+The Mirage *policy* — arbitration at interval boundaries, migration
+accounting, telemetry emission — lives once, in the shared
+:mod:`repro.engine.phases` pipeline.  What varies between the two
+simulator tiers is the *substrate* that executes an application for
+one interval, and that seam is the :class:`ExecutionBackend` protocol:
+
+* :class:`AnalyticBackend` — the interval tier's closed-form phase
+  model: IPC and SC-MPKI come from per-benchmark phase tables, and
+  Schedule-Cache coverage evolves analytically (refresh on the
+  producer, staleness decay on the consumer).
+* ``DetailedBackend`` (:mod:`repro.cmp.detailed`) — the cycle-level
+  tier: real instruction streams through the detailed core models,
+  a shared L2, per-core predictors/BTB, and real Schedule-Cache
+  contents crossing the bus on migration.
+
+Both backends are driven by the same
+:class:`~repro.engine.loop.IntervalEngine` and the same four phases,
+so ``tier-validation`` is literally "same engine, two backends".
+
+Backends also control *when* a migration's physical side effects
+happen.  :meth:`ExecutionBackend.migrate` may perform the move
+immediately and return a :class:`MigrationTicket` for the shared
+accounting (the analytic tier does), or return ``None`` and apply the
+move at the start of that application's :meth:`ExecutionBackend.advance`
+(the detailed tier does: flushing the producer's L1 the moment the
+*outgoing* application is processed — rather than before the incoming
+one runs its first slice — is part of the measured hand-off cost).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+from repro.engine.state import ExecOutcome
+from repro.engine.views import interval_tier_views
+
+if TYPE_CHECKING:
+    from repro.arbiter.base import AppView
+    from repro.cmp.migration import MigrationCostModel, MigrationEvent
+    from repro.engine.phases import EngineContext
+
+#: Engine/backend schema identifier, mixed into every
+#: :class:`~repro.runner.cache.ResultCache` key: results produced by a
+#: different loop/backend generation (e.g. the pre-unification bespoke
+#: simulators) can never be served against the unified engine.
+ENGINE_CACHE_TAG = "interval-engine/backends-v1"
+
+
+@dataclass(slots=True)
+class MigrationTicket:
+    """What one migration cost, for the shared accounting path.
+
+    Produced by :meth:`ExecutionBackend.migrate` (analytic tier) or by
+    the substrate's deferred move (detailed tier); consumed by
+    :func:`repro.engine.phases.account_migration`, which turns it into
+    counters and a :class:`~repro.telemetry.events.MigrationRecord`.
+    """
+
+    to_ooo: bool
+    sc_bytes: int                #: SC payload shipped over the bus
+    event: "MigrationEvent"      #: the cost model's breakdown
+    charged: float               #: cycles actually billed to the app
+    l1_flush_dirty: int = 0      #: detailed tier: dirty lines written back
+    l1_flush_lines: int = 0      #: detailed tier: total lines dropped
+    #: Extra substrate counters to bump alongside the standard ones.
+    counters: dict = field(default_factory=dict)
+
+
+class ExecutionBackend(ABC):
+    """One execution substrate under the shared interval pipeline.
+
+    The engine phases call a backend only through this interface; the
+    per-application :class:`~repro.engine.state.AppState` records are
+    the shared language (backends keep substrate extras — instruction
+    streams, core models — on their own side of the seam).
+    """
+
+    #: Short identifier used in logs, docs and cache keys.
+    name: str = "backend"
+
+    def views(self, ctx: "EngineContext") -> "list[AppView]":
+        """The arbitrator's performance-counter view of every app.
+
+        Both tiers mirror their counters into ``AppState``, so the
+        shared Equation-3 builder is the default for everyone.
+        """
+        return interval_tier_views(ctx.apps)
+
+    @abstractmethod
+    def migrate(self, ctx: "EngineContext", index: int, *,
+                to_ooo: bool) -> MigrationTicket | None:
+        """Move application *index* between core types.
+
+        Return a :class:`MigrationTicket` if the move (and its cost
+        accounting) happened now, or ``None`` if the substrate defers
+        the physical move to its :meth:`advance` step — in which case
+        the backend itself must route the eventual ticket through
+        :func:`~repro.engine.phases.account_migration`.
+        """
+
+    @abstractmethod
+    def advance(self, ctx: "EngineContext",
+                index: int) -> "ExecOutcome":
+        """Advance application *index* by one interval.
+
+        Reads the migration charge from ``ctx.mig_cost[index]`` and
+        must update the application's ``AppState`` counters (IPC,
+        SC-MPKI, residency times) so the next arbitration sees them.
+        """
+
+    def finalize(self, ctx: "EngineContext") -> None:
+        """Hook run once after the loop (fold substrate counters)."""
+
+
+class AnalyticBackend(ExecutionBackend):
+    """The interval tier's closed-form substrate (paper section 4.1).
+
+    Execution advances every application by the interval's effective
+    cycles at the IPC its current core and Schedule-Cache state
+    deliver; migrations are priced by the
+    :class:`~repro.cmp.migration.MigrationCostModel` and charged
+    against the interval (capped at 90 % of it).
+    """
+
+    name = "analytic"
+
+    def __init__(self, cost_model: "MigrationCostModel"):
+        self.migration = cost_model
+
+    def migrate(self, ctx: "EngineContext", index: int, *,
+                to_ooo: bool) -> MigrationTicket:
+        """Price the move now and charge it against this interval."""
+        app = ctx.apps[index]
+        cfg = ctx.config
+        sc_bytes = 0
+        if cfg.mirage:
+            sc_bytes = int(app.sc_coverage * cfg.sc_capacity_bytes)
+        event = self.migration.migrate(
+            app.model.name, now_cycles=ctx.now,
+            interval_index=ctx.index, to_ooo=to_ooo,
+            sc_bytes=sc_bytes,
+        )
+        charged = min(ctx.interval * 0.9, event.total_cycles)
+        app.on_ooo = to_ooo
+        return MigrationTicket(to_ooo=to_ooo, sc_bytes=sc_bytes,
+                               event=event, charged=charged)
+
+    def advance(self, ctx: "EngineContext",
+                index: int) -> "ExecOutcome":
+        """One interval of the analytic phase-table model."""
+        app = ctx.apps[index]
+        cfg = ctx.config
+        interval = ctx.interval
+        budget = ctx.budget
+        effective = max(0.0, interval - ctx.mig_cost[index])
+        phase = app.model.phase_at(app.instr_done)
+
+        if app.on_ooo:
+            ipc = phase.ipc_ooo
+            kind = "ooo"
+            memo_frac = 0.0
+            if cfg.mirage:
+                # The producer refreshes the SC with this phase's
+                # schedules, as far as they fit in 8 KB.
+                fit = min(1.0, (cfg.sc_capacity_bytes / 1024.0)
+                          / max(0.25, phase.trace_kb))
+                app.sc_phase_id = phase.phase_id
+                app.sc_coverage = fit
+                app.sc_mpki_ooo_last = phase.sc_mpki_ooo
+                sc_mpki = phase.sc_mpki_ooo
+                # While memoizing, the consumer-side staleness signal
+                # is satisfied: fresh schedules are being produced.
+                # (Without this the app camps on the OoO, because its
+                # last InO-side SC-MPKI reading stays frozen high.)
+                app.sc_mpki_ino_last = phase.sc_mpki_ooo
+            else:
+                sc_mpki = 0.0
+            app.t_ooo += effective
+            app.intervals_since_ooo = 0
+            app.ooo_intervals += 1
+            app.ipc_ooo_last = ipc
+        else:
+            app.intervals_since_ooo += 1
+            if cfg.mirage:
+                if app.sc_phase_id == phase.phase_id:
+                    app.sc_coverage *= (1.0 - phase.volatility)
+                else:
+                    app.sc_coverage = 0.0   # stale: schedules useless
+                coverage = app.sc_coverage
+                ipc = phase.ipc_oino(coverage)
+                sc_mpki = phase.sc_mpki_ino(coverage)
+                memo_frac = phase.memoizable * coverage
+                app.t_memoized += effective * memo_frac
+                kind = "oino"
+            else:
+                ipc = phase.ipc_ino
+                sc_mpki = 0.0
+                memo_frac = 0.0
+                kind = "ino"
+
+        app.ipc_last = ipc
+        app.sc_mpki_ino_last = sc_mpki if not app.on_ooo else (
+            app.sc_mpki_ino_last)
+        app.t_total += interval
+
+        # Progress and budget completion.
+        before = app.instr_done
+        app.instr_done += ipc * effective
+        if (before % budget) + ipc * effective >= budget:
+            app.completions += 1
+            if app.first_completion_cycles is None:
+                frac = (budget - before % budget) / max(
+                    1e-9, ipc * effective)
+                app.first_completion_cycles = (ctx.index + frac) * interval
+
+        return ExecOutcome(
+            kind=kind, ipc=ipc, memo_frac=memo_frac, effective=effective,
+            alone_ipc=phase.ipc_ooo, sc_mpki=sc_mpki,
+            sc_mpki_ref=app.sc_mpki_ooo_last, phase_id=phase.phase_id,
+        )

@@ -1,9 +1,11 @@
 """The thin interval loop that drives a phase pipeline.
 
 The engine owns *when* — interval sequencing, completion detection,
-per-phase wall-time profiling — and the phases own *what*.  Custom
-pipelines (extra phases, a phase swapped for an ablation variant) run
-through the same loop; see ``docs/api.md``.
+per-phase wall-time profiling — the phases own *what*, and the
+:class:`~repro.engine.backends.ExecutionBackend` owns *on which
+substrate*.  Custom pipelines (extra phases, a phase swapped for an
+ablation variant) and custom backends run through the same loop; see
+``docs/api.md``.
 """
 
 from __future__ import annotations
@@ -11,6 +13,7 @@ from __future__ import annotations
 from time import perf_counter
 from typing import TYPE_CHECKING, Sequence
 
+from repro.engine.backends import AnalyticBackend, ExecutionBackend
 from repro.engine.phases import EngineContext, EnginePhase
 from repro.engine.state import AppState
 from repro.telemetry.collector import Telemetry
@@ -26,18 +29,27 @@ class IntervalEngine:
     callers can advance a simulation in chunks (the white-box tests
     and the software-arbitrator studies do); each call gets a fresh
     :class:`~repro.engine.phases.EngineContext` whose interval index
-    restarts at zero.
+    restarts at zero.  The execution substrate is the *backend*
+    (default: a fresh :class:`~repro.engine.backends.AnalyticBackend`);
+    every phase reaches it through ``ctx.backend``.
     """
 
     def __init__(self, config: "ClusterConfig", apps: list[AppState],
                  phases: Sequence[EnginePhase], *,
+                 backend: ExecutionBackend | None = None,
                  telemetry: Telemetry | None = None):
         names = [p.name for p in phases]
         if len(set(names)) != len(names):
             raise ValueError(f"duplicate phase names: {names}")
+        if backend is None:
+            # Imported here: repro.cmp imports this module at package
+            # import time, so the reverse import must stay lazy.
+            from repro.cmp.migration import MigrationCostModel
+            backend = AnalyticBackend(MigrationCostModel(config))
         self.config = config
         self.apps = apps
         self.phases = list(phases)
+        self.backend = backend
         self.telemetry = telemetry or Telemetry()
 
     def run(self, *, max_intervals: int) -> EngineContext:
@@ -50,6 +62,7 @@ class IntervalEngine:
             telemetry=self.telemetry,
             interval=scale.interval_cycles,
             budget=scale.app_instruction_budget,
+            backend=self.backend,
             ooo_share=[0] * len(self.apps),
         )
         profiler = self.telemetry.profiler
@@ -69,4 +82,5 @@ class IntervalEngine:
                 profiler.add(phase.name, perf_counter() - start)
             k += 1
         ctx.intervals = k
+        self.backend.finalize(ctx)
         return ctx

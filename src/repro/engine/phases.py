@@ -1,27 +1,31 @@
 """The composable phases of the interval engine.
 
-``cmp/system.py``'s former monolithic loop is now a pipeline of four
-phases, each owning one concern of the Mirage mechanism and reporting
-through :mod:`repro.telemetry`:
+Both simulator tiers run the same per-interval pipeline, each phase
+owning one concern of the Mirage mechanism and reporting through
+:mod:`repro.telemetry`:
 
 1. :class:`ArbitrationPhase` — build every application's
-   performance-counter view and ask the arbitrator who gets the
+   performance-counter view (through the backend, which defaults to
+   the shared Equation-3 builder) and ask the arbitrator who gets the
    producer OoO(s), possibly nobody (power-gated).
-2. :class:`MigrationPhase` — charge migration costs (pipeline drain,
-   L1 warm-up, SC transfer over the shared bus) to the applications
-   that moved.
-3. :class:`ExecutionPhase` — advance every application by the
-   interval's effective cycles at the IPC its current core and
-   Schedule-Cache state deliver, evolving SC coverage (refresh on the
-   producer, staleness decay and phase-change invalidation on the
-   consumer).
+2. :class:`MigrationPhase` — decide who physically moves and route
+   the cost accounting (counters plus
+   :class:`~repro.telemetry.events.MigrationRecord`) through
+   :func:`account_migration`; the backend performs the move, either
+   immediately (analytic) or at that application's execution step
+   (detailed — see :mod:`repro.engine.backends`).
+3. :class:`ExecutionPhase` — advance every application one interval
+   on the backend's substrate (closed-form phase tables, or real
+   instructions through the detailed core models) and emit the shared
+   per-interval trace record.
 4. :class:`EnergyPhase` — integrate per-core energy; idle producers
    power-gate.
 
 Phases communicate only through the :class:`EngineContext` and the
 per-application :class:`~repro.engine.state.AppState` records, so they
 can be reordered, replaced or extended (see ``docs/api.md``) without
-touching the loop in :mod:`repro.engine.loop`.
+touching the loop in :mod:`repro.engine.loop` — and the execution
+substrate is swapped by changing ``ctx.backend``, never the pipeline.
 """
 
 from __future__ import annotations
@@ -30,8 +34,8 @@ from abc import ABC, abstractmethod
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Any
 
+from repro.engine.backends import ExecutionBackend, MigrationTicket
 from repro.engine.state import AppState, ExecOutcome
-from repro.engine.views import interval_tier_views
 from repro.telemetry.collector import Telemetry
 from repro.telemetry.events import (
     ArbitrationRecord,
@@ -42,7 +46,6 @@ from repro.telemetry.events import (
 
 if TYPE_CHECKING:
     from repro.cmp.config import ClusterConfig
-    from repro.cmp.migration import MigrationCostModel
     from repro.energy.model import CoreEnergyModel
 
 
@@ -60,6 +63,7 @@ class EngineContext:
     telemetry: Telemetry
     interval: int                     #: cycles per arbitration interval
     budget: int                       #: per-app instruction budget
+    backend: ExecutionBackend | None = None
     index: int = 0                    #: current interval number
     now: int = 0                      #: cycles elapsed at interval start
     intervals: int = 0                #: intervals completed by the run
@@ -81,6 +85,37 @@ class EnginePhase(ABC):
         """Advance the simulation by this phase's concern."""
 
 
+def account_migration(ctx: EngineContext, app_name: str,
+                      ticket: MigrationTicket) -> None:
+    """The one migration-accounting path both tiers share.
+
+    Bumps the standard counters (plus any substrate extras the ticket
+    carries) and emits the :class:`MigrationRecord`; called by
+    :class:`MigrationPhase` for immediate moves and by deferring
+    backends when they apply a pending move.
+    """
+    telemetry = ctx.telemetry
+    telemetry.counters.bump("migration.count")
+    telemetry.counters.bump("migration.sc_bytes", ticket.sc_bytes)
+    for name, value in ticket.counters.items():
+        telemetry.counters.bump(name, value)
+    if telemetry.wants("migration"):
+        event = ticket.event
+        telemetry.emit(MigrationRecord(
+            interval=ctx.index,
+            app=app_name,
+            to_ooo=ticket.to_ooo,
+            sc_bytes=ticket.sc_bytes,
+            drain_cycles=event.drain_cycles,
+            l1_warmup_cycles=event.l1_warmup_cycles,
+            sc_transfer_cycles=event.sc_transfer_cycles,
+            bus_contention_cycles=event.bus_contention_cycles,
+            charged_cycles=ticket.charged,
+            l1_flush_dirty=ticket.l1_flush_dirty,
+            l1_flush_lines=ticket.l1_flush_lines,
+        ))
+
+
 class ArbitrationPhase(EnginePhase):
     """Polls the arbitrator for the interval's OoO occupancy."""
 
@@ -95,7 +130,7 @@ class ArbitrationPhase(EnginePhase):
         ctx.chosen = []
         if cfg.n_producers > 0 and self.arbitrator is not None:
             ctx.chosen = self.arbitrator.pick(
-                interval_tier_views(ctx.apps), interval_index=ctx.index,
+                ctx.backend.views(ctx), interval_index=ctx.index,
                 slots=cfg.n_producers,
             )[: cfg.n_producers]
         if ctx.chosen:
@@ -115,142 +150,56 @@ class ArbitrationPhase(EnginePhase):
 
 
 class MigrationPhase(EnginePhase):
-    """Charges migration costs to applications changing cores."""
+    """Moves applications between core types, charging the cost."""
 
     name = "migration"
 
-    def __init__(self, cost_model: "MigrationCostModel"):
-        self.migration = cost_model
-
     def run(self, ctx: EngineContext) -> None:
-        """Charge ``ctx.mig_cost`` for every app changing core type."""
-        cfg = ctx.config
-        telemetry = ctx.telemetry
+        """Migrate every app whose core assignment changed.
+
+        The backend performs (or schedules) the physical move; tickets
+        returned immediately are accounted here, deferred ones at the
+        backend's execution step.
+        """
+        backend = ctx.backend
         for i, app in enumerate(ctx.apps):
             should_be_on = i in ctx.chosen
             if should_be_on == app.on_ooo:
                 continue
-            sc_bytes = 0
-            if cfg.mirage:
-                sc_bytes = int(app.sc_coverage * cfg.sc_capacity_bytes)
-            event = self.migration.migrate(
-                app.model.name, now_cycles=ctx.now,
-                interval_index=ctx.index, to_ooo=should_be_on,
-                sc_bytes=sc_bytes,
-            )
-            charged = min(ctx.interval * 0.9, event.total_cycles)
-            ctx.mig_cost[i] = charged
-            app.on_ooo = should_be_on
-            telemetry.counters.bump("migration.count")
-            telemetry.counters.bump("migration.sc_bytes", sc_bytes)
-            if telemetry.wants("migration"):
-                telemetry.emit(MigrationRecord(
-                    interval=ctx.index,
-                    app=app.model.name,
-                    to_ooo=should_be_on,
-                    sc_bytes=sc_bytes,
-                    drain_cycles=event.drain_cycles,
-                    l1_warmup_cycles=event.l1_warmup_cycles,
-                    sc_transfer_cycles=event.sc_transfer_cycles,
-                    bus_contention_cycles=event.bus_contention_cycles,
-                    charged_cycles=charged,
-                ))
+            ticket = backend.migrate(ctx, i, to_ooo=should_be_on)
+            if ticket is None:
+                continue    # substrate applies the move in advance()
+            ctx.mig_cost[i] = ticket.charged
+            account_migration(ctx, app.model.name, ticket)
 
 
 class ExecutionPhase(EnginePhase):
-    """Advances every application, evolving Schedule-Cache coverage."""
+    """Advances every application on the backend's substrate."""
 
     name = "execution"
 
     def run(self, ctx: EngineContext) -> None:
         """Advance each app one interval, filling ``ctx.outcomes``."""
+        backend = ctx.backend
         wants_interval = ctx.telemetry.wants("interval")
         for i, app in enumerate(ctx.apps):
-            ctx.outcomes[i] = self._advance(
-                ctx, app, ctx.mig_cost[i], wants_interval)
-
-    def _advance(self, ctx: EngineContext, app: AppState,
-                 mig_cost: float, wants_interval: bool) -> ExecOutcome:
-        cfg = ctx.config
-        interval = ctx.interval
-        budget = ctx.budget
-        effective = max(0.0, interval - mig_cost)
-        phase = app.model.phase_at(app.instr_done)
-
-        if app.on_ooo:
-            ipc = phase.ipc_ooo
-            kind = "ooo"
-            memo_frac = 0.0
-            if cfg.mirage:
-                # The producer refreshes the SC with this phase's
-                # schedules, as far as they fit in 8 KB.
-                fit = min(1.0, (cfg.sc_capacity_bytes / 1024.0)
-                          / max(0.25, phase.trace_kb))
-                app.sc_phase_id = phase.phase_id
-                app.sc_coverage = fit
-                app.sc_mpki_ooo_last = phase.sc_mpki_ooo
-                sc_mpki = phase.sc_mpki_ooo
-                # While memoizing, the consumer-side staleness signal
-                # is satisfied: fresh schedules are being produced.
-                # (Without this the app camps on the OoO, because its
-                # last InO-side SC-MPKI reading stays frozen high.)
-                app.sc_mpki_ino_last = phase.sc_mpki_ooo
-            else:
-                sc_mpki = 0.0
-            app.t_ooo += effective
-            app.intervals_since_ooo = 0
-            app.ooo_intervals += 1
-            app.ipc_ooo_last = ipc
-        else:
-            app.intervals_since_ooo += 1
-            if cfg.mirage:
-                if app.sc_phase_id == phase.phase_id:
-                    app.sc_coverage *= (1.0 - phase.volatility)
-                else:
-                    app.sc_coverage = 0.0   # stale: schedules useless
-                coverage = app.sc_coverage
-                ipc = phase.ipc_oino(coverage)
-                sc_mpki = phase.sc_mpki_ino(coverage)
-                memo_frac = phase.memoizable * coverage
-                app.t_memoized += effective * memo_frac
-                kind = "oino"
-            else:
-                ipc = phase.ipc_ino
-                sc_mpki = 0.0
-                memo_frac = 0.0
-                kind = "ino"
-
-        app.ipc_last = ipc
-        app.sc_mpki_ino_last = sc_mpki if not app.on_ooo else (
-            app.sc_mpki_ino_last)
-        app.t_total += interval
-
-        # Progress and budget completion.
-        before = app.instr_done
-        app.instr_done += ipc * effective
-        if (before % budget) + ipc * effective >= budget:
-            app.completions += 1
-            if app.first_completion_cycles is None:
-                frac = (budget - before % budget) / max(
-                    1e-9, ipc * effective)
-                app.first_completion_cycles = (ctx.index + frac) * interval
-
-        if wants_interval:
-            alone_ipc = phase.ipc_ooo
-            ctx.telemetry.emit(IntervalRecord(
-                interval=ctx.index,
-                app=app.model.name,
-                on_ooo=app.on_ooo,
-                ipc=ipc,
-                speedup=min(1.0, ipc / max(1e-9, alone_ipc)),
-                sc_mpki_ino=sc_mpki,
-                delta_sc_mpki=(
-                    (sc_mpki - (app.sc_mpki_ooo_last or 0.1))
-                    / max(0.1, app.sc_mpki_ooo_last or 0.1)),
-                phase_id=phase.phase_id,
-            ))
-        return ExecOutcome(kind=kind, ipc=ipc, memo_frac=memo_frac,
-                           effective=effective)
+            outcome = backend.advance(ctx, i)
+            ctx.outcomes[i] = outcome
+            if wants_interval:
+                ref = outcome.sc_mpki_ref
+                ctx.telemetry.emit(IntervalRecord(
+                    interval=ctx.index,
+                    app=app.model.name,
+                    on_ooo=app.on_ooo,
+                    ipc=outcome.ipc,
+                    speedup=min(1.0, outcome.ipc
+                                / max(1e-9, outcome.alone_ipc)),
+                    sc_mpki_ino=outcome.sc_mpki,
+                    delta_sc_mpki=(
+                        (outcome.sc_mpki - (ref or 0.1))
+                        / max(0.1, ref or 0.1)),
+                    phase_id=outcome.phase_id,
+                ))
 
 
 class EnergyPhase(EnginePhase):
@@ -259,7 +208,9 @@ class EnergyPhase(EnginePhase):
     Each application is charged until it finishes its instruction
     budget once (restarted filler work is not billed, so one slow
     application cannot dominate the whole CMP's energy figure through
-    its tail).
+    its tail).  Backends that measure real cycles report them in
+    :attr:`~repro.engine.state.ExecOutcome.energy_cycles`; the
+    analytic tier bills the fixed interval length.
     """
 
     name = "energy"
@@ -276,6 +227,8 @@ class EnergyPhase(EnginePhase):
         for app, outcome in zip(ctx.apps, ctx.outcomes):
             if outcome is None:
                 continue
+            cycles = (outcome.energy_cycles
+                      if outcome.energy_cycles is not None else interval)
             charged = 0.0
             if app.first_completion_cycles is None or app.completions == 0:
                 if outcome.kind == "oino":
@@ -285,10 +238,10 @@ class EnergyPhase(EnginePhase):
                            + (1 - memo_frac) * em.EPI_PJ["ino"])
                     leak = em.leakage["ino"] + em.leakage["oino_extra"] + \
                         em.leakage["sc"]
-                    charged = (leak + epi * outcome.ipc) * interval
+                    charged = (leak + epi * outcome.ipc) * cycles
                 else:
                     charged = em.interval_energy(
-                        outcome.kind, outcome.ipc, interval)
+                        outcome.kind, outcome.ipc, cycles)
                 app.energy_pj += charged
             if wants_energy:
                 telemetry.emit(EnergyRecord(

@@ -43,10 +43,26 @@ class AppState:
 
 @dataclass(slots=True)
 class ExecOutcome:
-    """What :class:`~repro.engine.phases.ExecutionPhase` computed for
-    one application this interval; consumed by the energy phase."""
+    """What one :meth:`~repro.engine.backends.ExecutionBackend.advance`
+    call computed for one application this interval.
+
+    The first four fields drive the energy phase; the rest are the
+    ingredients the shared :class:`~repro.engine.phases.ExecutionPhase`
+    needs to emit the tier-agnostic
+    :class:`~repro.telemetry.events.IntervalRecord` — each backend
+    fills them from its own notion of "reference IPC" and "SC-MPKI"
+    (analytic phase tables vs measured Schedule-Cache counters).
+    """
 
     kind: str           #: core mode executed: "ooo" | "ino" | "oino"
     ipc: float
     memo_frac: float    #: fraction of the interval replayed from the SC
     effective: float    #: cycles left after the migration charge
+    #: Substrate-measured cycles to bill for energy; ``None`` means
+    #: "the fixed interval length" (the analytic tier's convention).
+    energy_cycles: float | None = None
+    # IntervalRecord ingredients (see ExecutionPhase).
+    alone_ipc: float = 0.0       #: reference IPC alone on a private OoO
+    sc_mpki: float = 0.0         #: the SC-MPKI signal to trace
+    sc_mpki_ref: float | None = None  #: Equation-1 OoO-side reference
+    phase_id: int = -1           #: -1 where no phase model exists

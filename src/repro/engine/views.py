@@ -3,7 +3,11 @@
 Historically ``cmp/system.py`` and ``cmp/detailed.py`` each assembled
 the arbitrator's performance-counter view by hand with subtly different
 ``util`` definitions; this module is now the single place the view —
-and in particular its Equation-3 utilization term — is defined.
+and in particular its Equation-3 utilization term — is defined.  Both
+backends mirror their counters into
+:class:`~repro.engine.state.AppState`, so the default
+:meth:`~repro.engine.backends.ExecutionBackend.views` is literally
+:func:`interval_tier_views` for everyone.
 
 Equation 3 (paper section 3.2)::
 
@@ -19,11 +23,12 @@ and how each tier instantiates its terms:
   the rate it actually achieves, and ``T_total`` =
   ``max(1, AppState.t_total)``.
 
-* **detailed tier** (``DetailedMirageCluster._views``):
-  ``T_OoO`` = measured producer-resident cycles, ``T_memoized`` = 0 —
-  replayed instructions are already folded into the *measured*
-  consumer IPC, so crediting them again would double-count — and
-  ``T_total`` = ``max(1, total cycles)``.
+* **detailed tier** (:class:`~repro.cmp.detailed.DetailedBackend`):
+  ``T_OoO`` = measured producer-resident cycles mirrored into
+  ``t_ooo``, ``T_memoized`` stays 0 — replayed instructions are
+  already folded into the *measured* consumer IPC, so crediting them
+  again would double-count — and ``T_total`` = measured total cycles
+  mirrored into ``t_total``.
 """
 
 from __future__ import annotations

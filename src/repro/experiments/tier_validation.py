@@ -1,9 +1,11 @@
-"""Validation: detailed-tier cluster vs interval-tier simulator.
+"""Validation: same engine, two backends.
 
-The big sweeps (Figures 7-15) run on the interval tier; this
-experiment checks its dynamics bottom-up by running small clusters on
-the cycle-level :class:`~repro.cmp.detailed.DetailedMirageCluster` and
-comparing the qualitative outcomes both tiers must agree on:
+The big sweeps (Figures 7-15) run on the analytic backend; this
+experiment checks its dynamics bottom-up by running the *same*
+:class:`~repro.engine.loop.IntervalEngine` pipeline on the cycle-level
+:class:`~repro.cmp.detailed.DetailedBackend` (via
+:class:`~repro.cmp.detailed.DetailedMirageCluster`) and comparing the
+qualitative outcomes both execution substrates must agree on:
 
 * the SC-MPKI arbitrator gives memoizable applications more producer
   time than unmemoizable ones;

@@ -9,7 +9,11 @@ floats survive the JSON round-trip exactly (``repr`` shortest-float),
 and ``"call"`` payloads are JSON-normalised at execution time.
 
 Bumping :data:`repro.__version__` invalidates every entry, so stale
-results can never leak across simulator changes.
+results can never leak across simulator changes; the key also folds in
+the engine/backend schema tag
+(:data:`repro.engine.backends.ENGINE_CACHE_TAG`), so results produced
+by a different loop/backend generation are invalidated even when the
+package version is unchanged.
 """
 
 from __future__ import annotations
@@ -24,6 +28,7 @@ from typing import Any
 
 import repro
 from repro.cmp.system import CMPResult
+from repro.engine.backends import ENGINE_CACHE_TAG
 from repro.runner.units import WorkUnit
 from repro.telemetry.events import IntervalRecord
 
@@ -64,14 +69,17 @@ class ResultCache:
     """Maps ``(experiment, WorkUnit)`` to a stored unit result."""
 
     def __init__(self, cache_dir: str | Path | None = None, *,
-                 version: str | None = None):
+                 version: str | None = None,
+                 backend: str | None = None):
         self.root = Path(cache_dir) if cache_dir else default_cache_dir()
         self.version = version or repro.__version__
+        self.backend = backend or ENGINE_CACHE_TAG
 
     # -- keying --------------------------------------------------------
     def key_material(self, experiment: str, unit: WorkUnit) -> str:
         return json.dumps(
             {
+                "backend": self.backend,
                 "experiment": experiment,
                 "unit": dataclasses.asdict(unit),
                 "version": self.version,

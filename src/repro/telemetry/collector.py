@@ -72,3 +72,22 @@ class Telemetry:
         """A fresh hub with one attached :class:`MemorySink`."""
         telemetry = cls()
         return telemetry, telemetry.attach(MemorySink(kinds))
+
+    def summarize_run(self, *, config: str, arbitrator: str,
+                      intervals: int, total_cycles: float) -> None:
+        """Close out one run: bump ``run.intervals`` and emit the
+        :class:`~repro.telemetry.events.RunRecord` (with a snapshot of
+        every counter) if any sink subscribed.  Both simulator tiers
+        end their ``run()`` through this one path.
+        """
+        from repro.telemetry.events import RunRecord
+
+        self.counters.bump("run.intervals", intervals)
+        if self.wants("run"):
+            self.emit(RunRecord(
+                config=config,
+                arbitrator=arbitrator,
+                intervals=intervals,
+                total_cycles=total_cycles,
+                counters=dict(self.counters),
+            ))

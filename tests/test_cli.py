@@ -163,6 +163,47 @@ class TestTraceCommand:
         assert len(table_rows) == 3
         assert "bzip2" not in out
 
+    def test_migration_summary_line(self, trace_file, capsys):
+        assert main(["trace", str(trace_file)]) == 0
+        out = capsys.readouterr().out
+        summary = [line for line in out.splitlines()
+                   if line.startswith("migrations per app:")]
+        assert len(summary) == 1
+        # Every app that migrated appears as name=count.
+        assert "=" in summary[0]
+
+    def test_kind_filter_migration(self, trace_file, capsys):
+        assert main(["trace", str(trace_file),
+                     "--kind", "migration"]) == 0
+        out = capsys.readouterr().out
+        assert "migration records" in out
+        assert "sc_bytes" in out and "charged" in out
+        # The default interval table and run section are suppressed.
+        assert "interval records" not in out
+        assert "\nrun:" not in out
+
+    def test_kind_filter_arbitration_and_energy(self, trace_file,
+                                                capsys):
+        assert main(["trace", str(trace_file),
+                     "--kind", "arbitration"]) == 0
+        out = capsys.readouterr().out
+        assert "arbitration records" in out and "chosen" in out
+        assert main(["trace", str(trace_file),
+                     "--kind", "energy"]) == 0
+        out = capsys.readouterr().out
+        assert "energy records" in out and "energy_pj" in out
+
+    def test_kind_filter_composes_with_app(self, trace_file, capsys):
+        assert main(["trace", str(trace_file), "--kind", "migration",
+                     "--app", "bzip2"]) == 0
+        out = capsys.readouterr().out
+        assert "migration records for bzip2" in out
+        assert "namd" not in out
+
+    def test_kind_rejected_for_experiments(self):
+        with pytest.raises(SystemExit):
+            main(["fig6", "--kind", "migration"])
+
     def test_missing_file_fails(self, tmp_path, capsys):
         assert main(["trace", str(tmp_path / "nope.jsonl")]) == 1
         assert "no such file" in capsys.readouterr().err

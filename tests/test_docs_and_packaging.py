@@ -24,6 +24,8 @@ DOCUMENTED_SURFACES = [
     "repro.bench.registry",
     "repro.bench.harness",
     "repro.bench.compare",
+    "repro.engine",
+    "repro.engine.backends",
     "repro.engine.phases",
     "repro.telemetry.events",
 ]

@@ -89,3 +89,52 @@ class TestMultithreadedMirage:
         for row in result["rows"]:
             assert row["ooo_broadcast"] <= row["ooo_private"] + 0.02
             assert row["stp_broadcast"] >= row["stp_private"] - 0.05
+
+
+class TestMultithreadedEnginePath:
+    """The multithreaded cluster is now the standard engine pipeline
+    plus a custom BroadcastPhase — exercise that seam directly."""
+
+    def _cluster(self, broadcast=True, n=4):
+        config = ClusterConfig(n_consumers=n, n_producers=1, mirage=True)
+        return MultithreadedMirage(
+            config, analytic_model("hmmer"), broadcast=broadcast)
+
+    def test_pipeline_shape(self):
+        with_bc = self._cluster(broadcast=True)
+        assert [p.name for p in with_bc.phases] == [
+            "arbitration", "migration", "execution", "energy",
+            "broadcast"]
+        without = self._cluster(broadcast=False)
+        assert [p.name for p in without.phases] == [
+            "arbitration", "migration", "execution", "energy"]
+
+    def test_runs_on_analytic_backend(self):
+        from repro.engine import AnalyticBackend
+
+        cluster = self._cluster()
+        assert isinstance(cluster.engine.backend, AnalyticBackend)
+        assert cluster.engine.backend.migration is cluster.migration
+
+    def test_broadcast_phase_profiled_and_counted(self):
+        cluster = self._cluster(broadcast=True)
+        result = cluster.run()
+        profiler = cluster.telemetry.profiler
+        assert "broadcast" in profiler.seconds
+        assert profiler.calls["broadcast"] == result.intervals
+        # The broadcasts actually happened and moved bus bytes.
+        assert cluster.telemetry.counters["broadcast.transfers"] > 0
+
+    def test_engine_counters_cover_migrations(self):
+        cluster = self._cluster()
+        cluster.run()
+        counters = cluster.telemetry.counters
+        assert counters["migration.count"] \
+            == cluster.migration.total_migrations > 0
+        assert counters["arbitration.granted"] > 0
+
+    def test_memoize_phases_match_engine_bookkeeping(self):
+        cluster = self._cluster()
+        result = cluster.run()
+        assert result.memoize_phases == round(
+            result.ooo_active_fraction * result.intervals)

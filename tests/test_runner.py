@@ -76,6 +76,19 @@ class TestCache:
         }
         assert len(paths) == 5
 
+    def test_key_changes_with_backend_tag(self, tmp_path):
+        # Results from a different engine/backend generation (e.g. the
+        # pre-unification bespoke loops) can never be served back.
+        from repro.engine.backends import ENGINE_CACHE_TAG
+
+        base = ResultCache(tmp_path)
+        assert base.backend == ENGINE_CACHE_TAG
+        assert ENGINE_CACHE_TAG in base.key_material(
+            "fig7", cmp_unit(MIX, "SC-MPKI"))
+        unit = cmp_unit(MIX, "SC-MPKI")
+        other = ResultCache(tmp_path, backend="bespoke-loops-v0")
+        assert base.path_for("fig7", unit) != other.path_for("fig7", unit)
+
     def test_corrupt_entry_is_a_miss(self, tmp_path):
         cache = ResultCache(tmp_path)
         unit = cmp_unit(MIX, "SC-MPKI")
