@@ -26,6 +26,11 @@ from pathlib import Path
 #: The experiments whose printed tables must stay bit-identical.
 EXPERIMENTS = ("table1", "fig7", "tier-validation")
 
+#: The experiments exercising the detailed tier, i.e. the ones whose
+#: output the ``--simcache-gate`` mode compares with slice memoization
+#: on vs off.
+SIMCACHE_EXPERIMENTS = ("tier-validation",)
+
 
 def is_volatile(line: str) -> bool:
     """True for timing lines that legitimately vary run to run."""
@@ -34,9 +39,12 @@ def is_volatile(line: str) -> bool:
     return line.startswith("--- ") and " done in " in line
 
 
-def capture(experiment: str, src: Path) -> str:
+def capture(experiment: str, src: Path,
+            extra_env: dict[str, str] | None = None) -> str:
     """One experiment's table, with volatile timing lines stripped."""
     env = dict(os.environ, PYTHONPATH=str(src))
+    if extra_env:
+        env.update(extra_env)
     proc = subprocess.run(
         [sys.executable, "-m", "repro", experiment,
          "--quick", "--no-cache"],
@@ -51,6 +59,29 @@ def capture(experiment: str, src: Path) -> str:
     return "\n".join(lines) + "\n"
 
 
+def simcache_gate(src: Path, out: Path,
+                  experiments: list[str]) -> None:
+    """Capture each detailed-tier experiment with slice memoization on
+    and off and fail on any byte difference.
+
+    The toggle goes through the ``MIRAGE_SIM_CACHE`` environment
+    variable rather than CLI flags so the same invocation works
+    against older src trees that predate ``--no-sim-cache``.
+    """
+    for experiment in experiments:
+        on = capture(experiment, src, {"MIRAGE_SIM_CACHE": "1"})
+        off = capture(experiment, src, {"MIRAGE_SIM_CACHE": "0"})
+        (out / f"{experiment}.sim-cache-on.txt").write_text(on)
+        (out / f"{experiment}.sim-cache-off.txt").write_text(off)
+        if on != off:
+            raise SystemExit(
+                f"capture_tables: {experiment} differs between "
+                f"MIRAGE_SIM_CACHE=1 and =0 — slice memoization "
+                f"changed simulation output (see {out})")
+        print(f"[simcache-gate] {experiment}: sim-cache on/off "
+              f"byte-identical ({len(on.splitlines())} lines)")
+
+
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point: capture every experiment into ``--out``."""
     parser = argparse.ArgumentParser(description=__doc__)
@@ -63,11 +94,20 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--experiments", nargs="*", default=list(EXPERIMENTS),
         help=f"experiments to capture (default: {' '.join(EXPERIMENTS)})")
+    parser.add_argument(
+        "--simcache-gate", action="store_true",
+        help="capture the detailed tier twice (MIRAGE_SIM_CACHE=1/0) "
+             "and fail on any byte difference instead of the normal "
+             "capture")
     args = parser.parse_args(argv)
 
     src = Path(args.src).resolve()
     out = Path(args.out)
     out.mkdir(parents=True, exist_ok=True)
+    if args.simcache_gate:
+        gate = [e for e in args.experiments if e in SIMCACHE_EXPERIMENTS]
+        simcache_gate(src, out, gate or list(SIMCACHE_EXPERIMENTS))
+        return 0
     for experiment in args.experiments:
         text = capture(experiment, src)
         path = out / f"{experiment}.txt"

@@ -45,7 +45,7 @@ from repro.workloads import (
     standard_mixes,
 )
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 __all__ = [
     "__version__",

@@ -11,6 +11,10 @@ identical tables.
 :mod:`repro.telemetry`) to a JSONL file; ``mirage trace FILE``
 inspects one afterwards.
 
+Detailed-tier runs memoize repeated slices (:mod:`repro.simcache`) by
+default; ``--no-sim-cache`` disables it, with bit-identical tables
+either way.
+
 ``mirage bench`` runs the :mod:`repro.bench` microbenchmarks and
 writes a schema-versioned ``BENCH_<label>.json``; ``mirage bench
 --compare OLD NEW`` diffs two such reports and fails on regressions
@@ -122,8 +126,20 @@ def _trace_command(path: str, *, app: str | None, limit: int,
                 print(f"\nrun: {event.config} under {event.arbitrator} — "
                       f"{event.intervals} intervals, "
                       f"{event.total_cycles:.0f} cycles")
-                for name in sorted(event.counters):
-                    print(f"  {name} = {event.counters[name]}")
+                counters = event.counters
+                lookups = counters.get("simcache.lookups", 0)
+                if lookups:
+                    hits = counters.get("simcache.hits", 0)
+                    replayed = counters.get(
+                        "simcache.replayed_instructions", 0)
+                    invalidations = counters.get(
+                        "simcache.invalidations", 0)
+                    print(f"  sim-cache: {hits:.0f}/{lookups:.0f} slice "
+                          f"hits ({100.0 * hits / lookups:.1f}%), "
+                          f"{replayed:.0f} instructions replayed, "
+                          f"{invalidations:.0f} invalidations")
+                for name in sorted(counters):
+                    print(f"  {name} = {counters[name]}")
 
     shown_any = 0
     for table_kind in TRACE_KINDS:
@@ -298,7 +314,23 @@ def main(argv: list[str] | None = None) -> int:
         help="with 'mirage trace': only this record kind "
              f"({', '.join(TRACE_KINDS)})",
     )
+    parser.add_argument(
+        "--sim-cache", dest="sim_cache", action="store_true",
+        default=None,
+        help="memoize detailed-tier slices in the process-wide "
+             "SliceMemo (bit-identical results; the default)",
+    )
+    parser.add_argument(
+        "--no-sim-cache", dest="sim_cache", action="store_false",
+        help="disable detailed-tier slice memoization",
+    )
     args = parser.parse_args(argv)
+
+    if args.sim_cache is not None:
+        from repro import simcache
+
+        # Writes MIRAGE_SIM_CACHE too, so --jobs workers inherit it.
+        simcache.set_enabled(args.sim_cache)
 
     if args.list or args.experiment == "list":
         _print_listing()

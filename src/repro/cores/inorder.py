@@ -44,6 +44,22 @@ class InOrderCore:
         self.predictor = predictor or TournamentPredictor()
         self.btb = btb or BranchTargetBuffer()
 
+    # -- slice-memoization hooks (repro.simcache) ----------------------
+    def state_snapshot(self) -> tuple:
+        """Persistent cross-slice state (frontend + private memory)."""
+        return (
+            self.predictor.state_snapshot(),
+            self.btb.state_snapshot(),
+            self.memory.state_snapshot(),
+        )
+
+    def state_restore(self, snap: tuple) -> None:
+        """Rebuild the exact state a :meth:`state_snapshot` captured."""
+        predictor, btb, memory = snap
+        self.predictor.state_restore(predictor)
+        self.btb.state_restore(btb)
+        self.memory.state_restore(memory)
+
     def run(
         self,
         stream: Iterable[Instruction],

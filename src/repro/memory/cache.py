@@ -139,6 +139,39 @@ class Cache:
                 self.stats.writebacks += 1
         lines[tag] = _Line(tag=tag, dirty=write, last_use=self._clock)
 
+    # -- slice-memoization hooks (repro.simcache) ----------------------
+    def state_snapshot(self) -> tuple:
+        """Full mutable state as a hashable tuple (simcache keying).
+
+        Lines are listed in per-set dict insertion order so that
+        :meth:`state_restore` reproduces not just the contents but the
+        iteration order future evictions and snapshots observe.
+        """
+        stats = self.stats
+        return (
+            self._clock, stats.accesses, stats.misses, stats.writebacks,
+            tuple(
+                (set_idx, line.tag, line.dirty, line.last_use)
+                for set_idx, lines in enumerate(self._sets)
+                for line in lines.values()
+            ),
+        )
+
+    def state_restore(self, snap: tuple) -> None:
+        """Rebuild the exact state a :meth:`state_snapshot` captured."""
+        clock, accesses, misses, writebacks, lines = snap
+        self._clock = clock
+        stats = self.stats
+        stats.accesses = accesses
+        stats.misses = misses
+        stats.writebacks = writebacks
+        sets = self._sets
+        for bucket in sets:
+            bucket.clear()
+        for set_idx, tag, dirty, last_use in lines:
+            sets[set_idx][tag] = _Line(
+                tag=tag, dirty=dirty, last_use=last_use)
+
     def invalidate(self, addr: int) -> bool:
         """Drop the line holding *addr* if present; True if it was dirty."""
         set_idx, tag = self._locate(addr)

@@ -68,6 +68,34 @@ class CoherenceDirectory:
         entry.state = CoherenceState.MODIFIED
         return len(victims)
 
+    # -- slice-memoization hooks (repro.simcache) ----------------------
+    def state_snapshot(self) -> tuple:
+        """Full mutable state as a hashable tuple (simcache keying).
+
+        Holder sets are stored sorted so equal directory contents
+        always snapshot equal regardless of set build history.  States
+        are stored as the enum members themselves — they are immutable
+        process-wide singletons, so hashing and equality are O(1) and
+        :meth:`state_restore` skips re-constructing them per line.
+        """
+        return (
+            self.invalidations, self.interventions,
+            tuple(
+                (line, entry.state, tuple(sorted(entry.holders)))
+                for line, entry in self._entries.items()
+            ),
+        )
+
+    def state_restore(self, snap: tuple) -> None:
+        """Rebuild the exact state a :meth:`state_snapshot` captured."""
+        invalidations, interventions, entries = snap
+        self.invalidations = invalidations
+        self.interventions = interventions
+        self._entries = {
+            line: _DirEntry(set(holders), state)
+            for line, state, holders in entries
+        }
+
     def evict(self, core_id: int, addr: int) -> None:
         line = self._line(addr)
         entry = self._entries.get(line)

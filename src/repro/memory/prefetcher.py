@@ -54,6 +54,32 @@ class StridePrefetcher:
             return prefetches
         return []
 
+    # -- slice-memoization hooks (repro.simcache) ----------------------
+    def state_snapshot(self) -> tuple:
+        """Full mutable state as a hashable tuple (simcache keying).
+
+        Table order matters: eviction is FIFO over insertion order, so
+        the snapshot preserves it for :meth:`state_restore`.
+        """
+        return (
+            self.issued, self.trained,
+            tuple(
+                (pc, e.last_addr, e.stride, e.confidence)
+                for pc, e in self._table.items()
+            ),
+        )
+
+    def state_restore(self, snap: tuple) -> None:
+        """Rebuild the exact state a :meth:`state_snapshot` captured."""
+        issued, trained, entries = snap
+        self.issued = issued
+        self.trained = trained
+        self._table = {
+            pc: _Entry(last_addr=last_addr, stride=stride,
+                       confidence=confidence)
+            for pc, last_addr, stride, confidence in entries
+        }
+
     def reset_stats(self) -> None:
         self.issued = 0
         self.trained = 0

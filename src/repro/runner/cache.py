@@ -27,6 +27,7 @@ from pathlib import Path
 from typing import Any
 
 import repro
+from repro import simcache
 from repro.cmp.system import CMPResult
 from repro.engine.backends import ENGINE_CACHE_TAG
 from repro.runner.units import WorkUnit
@@ -70,10 +71,17 @@ class ResultCache:
 
     def __init__(self, cache_dir: str | Path | None = None, *,
                  version: str | None = None,
-                 backend: str | None = None):
+                 backend: str | None = None,
+                 sim_cache: bool | None = None):
         self.root = Path(cache_dir) if cache_dir else default_cache_dir()
         self.version = version or repro.__version__
         self.backend = backend or ENGINE_CACHE_TAG
+        # Slice memoization is designed to be bit-transparent, but the
+        # cache key still records the setting: if a memoization bug
+        # ever produced a wrong result, flipping the switch must not
+        # serve the tainted entry back.
+        self.sim_cache = (simcache.enabled() if sim_cache is None
+                          else bool(sim_cache))
 
     # -- keying --------------------------------------------------------
     def key_material(self, experiment: str, unit: WorkUnit) -> str:
@@ -81,6 +89,7 @@ class ResultCache:
             {
                 "backend": self.backend,
                 "experiment": experiment,
+                "sim_cache": self.sim_cache,
                 "unit": dataclasses.asdict(unit),
                 "version": self.version,
             },

@@ -155,6 +155,41 @@ class ScheduleRecorder:
             entry.blacklisted = True
             self.sc.mark_unmemoizable(trace_key[0])
 
+    # -- slice-memoization hooks (repro.simcache) ----------------------
+    def state_snapshot(self) -> tuple:
+        """Full mutable state as a hashable tuple (simcache keying).
+
+        Covers the repeatability tables (in insertion order, so LRU
+        eviction scans behave identically after a restore) and the
+        recorder counters; the SC itself snapshots separately.
+        """
+        tables = self.tables
+        return (
+            self.observed_traces, self.memoized_writes,
+            self.instructions_seen, self.instructions_memoized,
+            tables.clock,
+            tuple(
+                (key, e.signature, e.streak, e.executions, e.aborts,
+                 e.blacklisted, e.last_use)
+                for key, e in tables.entries.items()
+            ),
+        )
+
+    def state_restore(self, snap: tuple) -> None:
+        """Rebuild the exact state a :meth:`state_snapshot` captured."""
+        (self.observed_traces, self.memoized_writes,
+         self.instructions_seen, self.instructions_memoized,
+         clock, entries) = snap
+        tables = self.tables
+        tables.clock = clock
+        tables.entries = {
+            key: _TableEntry(
+                signature=signature, streak=streak, executions=executions,
+                aborts=aborts, blacklisted=blacklisted, last_use=last_use)
+            for (key, signature, streak, executions, aborts,
+                 blacklisted, last_use) in entries
+        }
+
     # ------------------------------------------------------------------
     @property
     def memoization_rate(self) -> float:

@@ -45,6 +45,40 @@ class TestSlotPool:
         assert pool.earliest_free(3) == 7
         assert pool.earliest_free(0, span=3) == 0
 
+    def test_span_scan_restarts_past_mid_window_conflict(self):
+        # A busy cycle in the middle of the candidate window must
+        # restart the scan just past the conflict, not one-by-one.
+        pool = SlotPool(1)
+        pool.reserve(2)
+        assert pool.earliest_free(0, span=4) == 3
+
+    def test_span_scan_walks_repeated_conflicts(self):
+        # Alternating busy cycles: every window [c, c+1] conflicts at
+        # its second slot until the pool runs out of reservations.
+        pool = SlotPool(1)
+        for busy in (1, 3, 5):
+            pool.reserve(busy)
+        assert pool.earliest_free(0, span=2) == 6
+
+    def test_overlapping_span_reservations_accumulate(self):
+        pool = SlotPool(2)
+        pool.reserve(0, span=3)
+        pool.reserve(0, span=3)      # cycles 0..2 now full
+        assert pool.earliest_free(0, span=2) == 3
+        assert pool.usage_at(2) == 2
+        assert pool.usage_at(3) == 0
+
+    def test_span_reservation_survives_pruning(self):
+        # A long-span reservation written just before the prune
+        # threshold trips must stay accurate for recent cycles.
+        pool = SlotPool(1, prune_window=64)
+        for c in range(0, 120, 2):
+            pool.reserve(c)          # trips _prune at least once
+        pool.reserve(200, span=8)    # busy 200..207
+        assert pool.earliest_free(200) == 208
+        assert pool.earliest_free(199, span=4) == 208
+        assert pool.usage_at(207) == 1
+
     def test_rejects_zero_capacity(self):
         with pytest.raises(ValueError):
             SlotPool(0)
