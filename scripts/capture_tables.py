@@ -13,6 +13,17 @@ tier-identity gate on any byte difference::
     python scripts/capture_tables.py --src src --out /tmp/pr
     python scripts/capture_tables.py --src base-tree/src --out /tmp/base
     diff -ru /tmp/base /tmp/pr
+
+Three single-tree gate modes capture the same experiments under a
+flipped switch and fail on any byte difference — perf layers must
+never change simulation output:
+
+* ``--simcache-gate`` — slice memoization on vs off.
+* ``--vector-gate`` — the analytic tier's vectorized kernel forced on
+  vs off (``MIRAGE_VECTOR``).
+* ``--disk-smoke`` — two *separate processes* against one disk slice
+  store (``MIRAGE_SIM_CACHE_DISK=1``): the second replays what the
+  first simulated and must print the identical table.
 """
 
 from __future__ import annotations
@@ -27,9 +38,14 @@ from pathlib import Path
 EXPERIMENTS = ("table1", "fig7", "tier-validation")
 
 #: The experiments exercising the detailed tier, i.e. the ones whose
-#: output the ``--simcache-gate`` mode compares with slice memoization
-#: on vs off.
+#: output the ``--simcache-gate`` and ``--disk-smoke`` modes compare
+#: under the slice-memo toggles.
 SIMCACHE_EXPERIMENTS = ("tier-validation",)
+
+#: The experiments exercising the interval tier's analytic backend —
+#: the ones the ``--vector-gate`` mode captures with the vectorized
+#: kernel forced on vs off.
+VECTOR_EXPERIMENTS = ("table1", "fig7", "tier-validation")
 
 
 def is_volatile(line: str) -> bool:
@@ -59,27 +75,53 @@ def capture(experiment: str, src: Path,
     return "\n".join(lines) + "\n"
 
 
-def simcache_gate(src: Path, out: Path,
-                  experiments: list[str]) -> None:
-    """Capture each detailed-tier experiment with slice memoization on
-    and off and fail on any byte difference.
+def env_gate(src: Path, out: Path, experiments: list[str],
+             var: str, tag: str) -> None:
+    """Capture each experiment with ``var`` set to ``1`` and ``0`` and
+    fail on any byte difference.
 
-    The toggle goes through the ``MIRAGE_SIM_CACHE`` environment
-    variable rather than CLI flags so the same invocation works
-    against older src trees that predate ``--no-sim-cache``.
+    The toggles go through environment variables rather than CLI flags
+    so the same invocation works against older src trees that predate
+    the corresponding flags (``--no-sim-cache``, ``vectorize=``).
     """
     for experiment in experiments:
-        on = capture(experiment, src, {"MIRAGE_SIM_CACHE": "1"})
-        off = capture(experiment, src, {"MIRAGE_SIM_CACHE": "0"})
-        (out / f"{experiment}.sim-cache-on.txt").write_text(on)
-        (out / f"{experiment}.sim-cache-off.txt").write_text(off)
+        on = capture(experiment, src, {var: "1"})
+        off = capture(experiment, src, {var: "0"})
+        (out / f"{experiment}.{tag}-on.txt").write_text(on)
+        (out / f"{experiment}.{tag}-off.txt").write_text(off)
         if on != off:
             raise SystemExit(
                 f"capture_tables: {experiment} differs between "
-                f"MIRAGE_SIM_CACHE=1 and =0 — slice memoization "
-                f"changed simulation output (see {out})")
-        print(f"[simcache-gate] {experiment}: sim-cache on/off "
+                f"{var}=1 and =0 — a perf layer changed simulation "
+                f"output (see {out})")
+        print(f"[{tag}-gate] {experiment}: {var} on/off "
               f"byte-identical ({len(on.splitlines())} lines)")
+
+
+def disk_smoke(src: Path, out: Path, experiments: list[str]) -> None:
+    """Run each experiment twice — two processes, one disk slice
+    store — and fail unless the warm run reproduces the cold table.
+
+    The second process starts with an empty in-memory memo, so any
+    divergence means the disk store replayed a slice wrong (or the
+    store silently failed and the gate still holds by re-simulation —
+    identity is the contract either way).
+    """
+    cache_dir = out / "disk-smoke-cache"
+    env = {"MIRAGE_SIM_CACHE_DISK": "1",
+           "MIRAGE_CACHE_DIR": str(cache_dir)}
+    for experiment in experiments:
+        cold = capture(experiment, src, env)
+        warm = capture(experiment, src, env)
+        (out / f"{experiment}.disk-cold.txt").write_text(cold)
+        (out / f"{experiment}.disk-warm.txt").write_text(warm)
+        if cold != warm:
+            raise SystemExit(
+                f"capture_tables: {experiment} differs between the "
+                f"cold and warm disk-memo processes — the slice store "
+                f"replayed different results (see {out})")
+        print(f"[disk-smoke] {experiment}: cold/warm processes "
+              f"byte-identical ({len(cold.splitlines())} lines)")
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -99,6 +141,15 @@ def main(argv: list[str] | None = None) -> int:
         help="capture the detailed tier twice (MIRAGE_SIM_CACHE=1/0) "
              "and fail on any byte difference instead of the normal "
              "capture")
+    parser.add_argument(
+        "--vector-gate", action="store_true",
+        help="capture the interval-tier experiments twice "
+             "(MIRAGE_VECTOR=1/0) and fail on any byte difference")
+    parser.add_argument(
+        "--disk-smoke", action="store_true",
+        help="run the detailed tier in two processes sharing one disk "
+             "slice store (MIRAGE_SIM_CACHE_DISK=1) and fail unless "
+             "the warm process reproduces the cold table")
     args = parser.parse_args(argv)
 
     src = Path(args.src).resolve()
@@ -106,7 +157,17 @@ def main(argv: list[str] | None = None) -> int:
     out.mkdir(parents=True, exist_ok=True)
     if args.simcache_gate:
         gate = [e for e in args.experiments if e in SIMCACHE_EXPERIMENTS]
-        simcache_gate(src, out, gate or list(SIMCACHE_EXPERIMENTS))
+        env_gate(src, out, gate or list(SIMCACHE_EXPERIMENTS),
+                 "MIRAGE_SIM_CACHE", "sim-cache")
+        return 0
+    if args.vector_gate:
+        gate = [e for e in args.experiments if e in VECTOR_EXPERIMENTS]
+        env_gate(src, out, gate or list(VECTOR_EXPERIMENTS),
+                 "MIRAGE_VECTOR", "vector")
+        return 0
+    if args.disk_smoke:
+        gate = [e for e in args.experiments if e in SIMCACHE_EXPERIMENTS]
+        disk_smoke(src, out, gate or list(SIMCACHE_EXPERIMENTS))
         return 0
     for experiment in args.experiments:
         text = capture(experiment, src)

@@ -19,6 +19,8 @@ Public API tour:
 * :mod:`repro.engine` — the phase pipeline driving the interval tier.
 * :mod:`repro.telemetry` — typed counters, trace records, sinks.
 * :mod:`repro.experiments` — one driver per paper table/figure.
+* :mod:`repro.api` — the stable flat facade over all of the above.
+* :mod:`repro.config` — every cache switch as one ``CacheConfig``.
 """
 
 from repro.arbiter import (
@@ -45,7 +47,7 @@ from repro.workloads import (
     standard_mixes,
 )
 
-__version__ = "1.4.0"
+__version__ = "1.5.0"
 
 __all__ = [
     "__version__",

@@ -1,0 +1,131 @@
+"""The stable public surface, in one import.
+
+Everything a script, notebook, or downstream test should need lives
+here under one flat namespace::
+
+    from repro.api import CMPSystem, SCMPKIArbitrator, run_experiment
+
+The deep module paths (``repro.cmp.system``, ``repro.engine.backends``,
+...) keep working — they are where the code lives — but this module is
+the *supported* spelling: names listed in ``__all__`` follow the
+package version's compatibility promise, internal layouts do not.
+Legacy aliases that predate the facade (``repro.cmp.system.
+IntervalSample``) now warn on import and point here.
+
+The facade groups five surfaces:
+
+* **building blocks** — workloads, app models, cluster configs;
+* **simulation** — :class:`CMPSystem` (interval tier),
+  :class:`DetailedMirageCluster` (cycle tier), the batch-first
+  :class:`ExecutionBackend` protocol and its backends, plus the
+  process-sharded runner in :mod:`repro.cmp.sharded`;
+* **arbitration** — the five paper arbitrators;
+* **infrastructure** — telemetry, the sweep runner, and every cache
+  layer behind one :class:`CacheConfig`;
+* **entry points** — :func:`run_experiment` over the named experiment
+  registry, and the bench harness.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.arbiter import (
+    FairArbitrator,
+    MaxSTPArbitrator,
+    SCMPKIArbitrator,
+    SCMPKIFairArbitrator,
+    SCMPKIMaxSTPArbitrator,
+)
+from repro.bench import compare_reports, run_benchmarks
+from repro.characterize import AppModel, analytic_model
+from repro.cmp import ClusterConfig
+from repro.cmp.detailed import (
+    DetailedBackend,
+    DetailedMirageCluster,
+    DetailedResult,
+)
+from repro.cmp.sharded import (
+    ClusterSpec,
+    ShardedDetailedBackend,
+    ShardOutcome,
+    run_cluster_spec,
+)
+from repro.cmp.system import CMPResult, CMPSystem, run_homo
+from repro.config import CacheConfig, default_cache_dir
+from repro.engine import (
+    AnalyticBackend,
+    AppViewBatch,
+    ExecutionBackend,
+    IntervalEngine,
+)
+from repro.experiments import EXPERIMENTS, ExperimentParams
+from repro.runner import ResultCache, SweepRunner, call_unit, cmp_unit
+from repro.simcache import SliceMemo, SliceStore
+from repro.telemetry import (
+    IntervalRecord,
+    JSONLSink,
+    MemorySink,
+    Telemetry,
+)
+from repro.workloads import (
+    ALL_BENCHMARKS,
+    WorkloadMix,
+    make_benchmark,
+    standard_mixes,
+)
+
+__all__ = [
+    # building blocks
+    "ALL_BENCHMARKS", "AppModel", "ClusterConfig", "WorkloadMix",
+    "analytic_model", "make_benchmark", "standard_mixes",
+    # simulation
+    "AnalyticBackend", "AppViewBatch", "CMPResult", "CMPSystem",
+    "ClusterSpec", "DetailedBackend", "DetailedMirageCluster",
+    "DetailedResult", "ExecutionBackend", "IntervalEngine",
+    "ShardOutcome", "ShardedDetailedBackend", "run_cluster_spec",
+    "run_homo",
+    # arbitration
+    "FairArbitrator", "MaxSTPArbitrator", "SCMPKIArbitrator",
+    "SCMPKIFairArbitrator", "SCMPKIMaxSTPArbitrator",
+    # infrastructure
+    "CacheConfig", "IntervalRecord", "JSONLSink", "MemorySink",
+    "ResultCache", "SliceMemo", "SliceStore", "SweepRunner",
+    "Telemetry", "call_unit", "cmp_unit", "default_cache_dir",
+    # entry points
+    "EXPERIMENTS", "ExperimentParams", "compare_reports",
+    "run_benchmarks", "run_experiment",
+]
+
+
+def run_experiment(name: str, *, quick: bool = False,
+                   jobs: int = 1,
+                   cache: CacheConfig | None = None,
+                   **overrides: Any) -> dict:
+    """Run one named experiment and return its result dict.
+
+    The programmatic equivalent of ``mirage <name>``: resolves *name*
+    in :data:`EXPERIMENTS`, threads the cache configuration (applied
+    process-wide first, so slice-memo switches reach the backends),
+    and forwards *overrides* to the driver's ``run()``.
+
+    Args:
+        name: an experiment name (see ``mirage list``).
+        quick: trimmed workload sizes, as ``--quick``.
+        jobs: worker processes for sweep drivers.
+        cache: every cache switch in one place; ``None`` leaves the
+            process defaults (result cache off, slice memo on).
+        overrides: driver-specific keywords, e.g. ``n_mixes=4``.
+    """
+    if name not in EXPERIMENTS:
+        known = ", ".join(EXPERIMENTS)
+        raise KeyError(f"unknown experiment {name!r} — one of: {known}")
+    if cache is not None:
+        cache.apply()
+    params = ExperimentParams(
+        quick=quick, jobs=jobs,
+        use_cache=cache.use_result_cache if cache is not None else False,
+        cache_dir=cache.cache_dir if cache is not None else None,
+        cache=cache,
+    )
+    return EXPERIMENTS[name].run(params, **overrides)

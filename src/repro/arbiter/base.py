@@ -4,8 +4,12 @@ from __future__ import annotations
 
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 from repro.metrics import delta_sc_mpki, speedup
+
+if TYPE_CHECKING:
+    from repro.engine.views import AppViewBatch
 
 
 @dataclass(slots=True)
@@ -54,6 +58,18 @@ class Arbitrator(ABC):
         Up to *slots* indices (one per OoO).  An empty list powers the
         OoO(s) down for the interval.
         """
+
+    def pick_batch(self, batch: "AppViewBatch", *, interval_index: int,
+                   slots: int = 1) -> list[int]:
+        """Batch-first entry point the engine pipeline prefers.
+
+        The default materializes the historical view list from the
+        batch and defers to :meth:`pick`, so subclassing ``pick``
+        alone keeps working; arbitrators with a column fast path
+        override this and must return the identical indices.
+        """
+        return self.pick(batch.views(), interval_index=interval_index,
+                         slots=slots)
 
     def reset(self) -> None:
         """Clear internal state between runs (default: stateless)."""

@@ -20,6 +20,7 @@ class FairArbitrator(Arbitrator):
 
     def pick(self, views: list[AppView], *, interval_index: int,
              slots: int = 1) -> list[int]:
+        """The next *slots* applications in round-robin order."""
         if not views:
             return []
         picked = []
@@ -29,6 +30,7 @@ class FairArbitrator(Arbitrator):
         return picked
 
     def reset(self) -> None:
+        """Rewind the round-robin cursor to application 0."""
         self._cursor = 0
 
 
@@ -50,6 +52,7 @@ class SCMPKIFairArbitrator(Arbitrator):
 
     def pick(self, views: list[AppView], *, interval_index: int,
              slots: int = 1) -> list[int]:
+        """Round-robin scan, migrating only behind-share/stale apps."""
         if not views:
             return []
         fair_share = 1.0 / len(views)
@@ -70,4 +73,5 @@ class SCMPKIFairArbitrator(Arbitrator):
         return picked
 
     def reset(self) -> None:
+        """Rewind the round-robin cursor to application 0."""
         self._cursor = 0

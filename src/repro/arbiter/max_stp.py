@@ -22,6 +22,7 @@ class MaxSTPArbitrator(Arbitrator):
 
     def pick(self, views: list[AppView], *, interval_index: int,
              slots: int = 1) -> list[int]:
+        """Stale estimates first, then the lowest-speedup apps."""
         stale = sorted(
             (v for v in views
              if v.ipc_ooo_last is None

@@ -84,7 +84,10 @@ class Comparison:
             lines.append("no benchmarks in common")
         else:
             width = max(len(d.name) for d in self.deltas)
-            for d in self.deltas:
+            # Worst regression first: the row CI should look at leads
+            # the table instead of hiding in report order.
+            for d in sorted(self.deltas, key=lambda d: d.ratio,
+                            reverse=True):
                 verdict = ("REGRESSED" if d.regressed
                            else "improved" if d.improved else "ok")
                 lines.append(

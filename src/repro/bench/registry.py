@@ -235,6 +235,133 @@ def bench_interval_engine(ctx: BenchContext) -> None:
 
 
 @register(
+    "interval-batch", tier="interval",
+    description="AnalyticBackend's vectorized kernel: a 48-app CMP "
+                "run through the numpy advance_all path",
+)
+def bench_interval_batch(ctx: BenchContext) -> None:
+    """One wide interval-tier run that auto-selects the vector kernel.
+
+    48 applications is past ``VECTOR_MIN_APPS``, so the backend takes
+    the numpy batch path; the scalar-kernel probe stays
+    ``interval-engine``, making vector-path regressions visible on
+    their own row.
+    """
+    from repro.arbiter import SCMPKIArbitrator
+    from repro.characterize import analytic_model
+    from repro.cmp import ClusterConfig
+    from repro.cmp.system import CMPSystem
+    from repro.workloads import ALL_BENCHMARKS
+
+    n_apps = ctx.size(48, 36)
+    with ctx.telemetry.profiler.time("setup"):
+        names = [ALL_BENCHMARKS[i % len(ALL_BENCHMARKS)]
+                 for i in range(n_apps)]
+        models = [analytic_model(name) for name in names]
+        config = ClusterConfig(n_consumers=n_apps, n_producers=4,
+                               mirage=True)
+    reps = ctx.size(3, 1)
+    for _ in range(reps):
+        system = CMPSystem(config, models, SCMPKIArbitrator(),
+                           telemetry=ctx.telemetry)
+        result = system.run(max_intervals=ctx.size(400, 150))
+    ctx.telemetry.counters.bump(
+        "bench.stp_milli", round(result.stp * 1000))
+
+
+@register(
+    "detailed-shard", tier="detailed",
+    description="ShardedDetailedBackend: two independent clusters "
+                "fanned over a 2-worker process pool, merged in order",
+)
+def bench_detailed_shard(ctx: BenchContext) -> None:
+    """Two cluster specs through the process-pool fan-out path.
+
+    Exercises spec pickling, worker-side cluster rebuild, and the
+    deterministic spec-order merge; on a one-core box this mostly
+    measures pool overhead, which is exactly what the probe is for.
+    """
+    from repro.cmp.sharded import (
+        ClusterSpec,
+        ShardedDetailedBackend,
+        merge_counters,
+    )
+
+    with ctx.telemetry.profiler.time("setup"):
+        slice_n = ctx.size(3_000, 1_000)
+        n_slices = ctx.size(5, 2)
+        specs = [
+            ClusterSpec(
+                benchmarks=(("hmmer", 3, 1 << 34), ("mcf", 3, 2 << 34)),
+                slice_instructions=slice_n, n_slices=n_slices),
+            ClusterSpec(
+                benchmarks=(("bzip2", 3, 1 << 34), ("astar", 3, 2 << 34)),
+                slice_instructions=slice_n, n_slices=n_slices),
+        ]
+    with ctx.telemetry.profiler.time("shards"):
+        outcomes = ShardedDetailedBackend(specs, jobs=2).run()
+    counters = ctx.telemetry.counters
+    counters.merge(merge_counters(outcomes))
+    for outcome in outcomes:
+        counters.bump("bench.stp_milli",
+                      round(outcome.result.stp * 1000))
+
+
+@register(
+    "slice-store", tier="infra",
+    description="SliceStore persistence: cold capture to disk, then "
+                "a fresh memo replaying every slice from the store",
+)
+def bench_slice_store(ctx: BenchContext) -> None:
+    """Disk round-trip of the slice memo against a temp store.
+
+    The cold run populates a :class:`~repro.simcache.SliceStore` in a
+    temporary directory; a *fresh* memo sharing only that store then
+    replays the identical cluster, so every hit is a disk hit — the
+    cross-process warm-start path, minus the process boundary.  The
+    probe asserts result identity and that the disk layer actually
+    served hits, so a silent store regression fails loudly here.
+    """
+    from repro import simcache
+    from repro.arbiter import SCMPKIArbitrator
+    from repro.cmp.detailed import DetailedMirageCluster
+    from repro.workloads import make_benchmark
+
+    slice_n = ctx.size(3_000, 1_000)
+    n_slices = ctx.size(5, 2)
+
+    def run(memo):
+        cluster = DetailedMirageCluster(
+            [make_benchmark("hmmer", seed=4),
+             make_benchmark("mcf", seed=4)],
+            SCMPKIArbitrator(),
+            slice_instructions=slice_n,
+            sim_cache=memo,
+        )
+        return cluster.run(n_slices=n_slices)
+
+    with tempfile.TemporaryDirectory(prefix="mirage-bench-") as tmp:
+        store = simcache.SliceStore(Path(tmp))
+        with ctx.telemetry.profiler.time("cold"):
+            cold = run(simcache.SliceMemo(disk=store))
+        warm_memo = simcache.SliceMemo(disk=store)
+        with ctx.telemetry.profiler.time("disk-replay"):
+            warm = run(warm_memo)
+        if (warm.ipcs, warm.migrations, warm.energy_pj) != (
+                cold.ipcs, cold.migrations, cold.energy_pj):
+            raise RuntimeError(
+                "slice-store replay diverged from the cold run")
+        if warm_memo.stats.disk_hits == 0:
+            raise RuntimeError("slice-store replay never hit the disk")
+        counters = ctx.telemetry.counters
+        counters.bump("store.loads", store.stats.loads)
+        counters.bump("store.hits", store.stats.hits)
+        counters.bump("store.stores", store.stats.stores)
+        counters.bump("store.rejected", store.stats.rejected)
+        counters.bump("simcache.disk_hits", warm_memo.stats.disk_hits)
+
+
+@register(
     "memory-hierarchy", tier="detailed",
     description="CoreMemory access loop: L1/TLB hits, L2 refills, "
                 "strided and pointer-chase address patterns",

@@ -79,10 +79,12 @@ class AppModel:
 
     @property
     def mean_ipc_ooo(self) -> float:
+        """Phase-weight-averaged IPC on the out-of-order core."""
         return sum(p.ipc_ooo * p.weight for p in self.phases)
 
     @property
     def mean_ipc_ino(self) -> float:
+        """Phase-weight-averaged IPC on the in-order core."""
         return sum(p.ipc_ino * p.weight for p in self.phases)
 
 

@@ -12,8 +12,10 @@ identical tables.
 inspects one afterwards.
 
 Detailed-tier runs memoize repeated slices (:mod:`repro.simcache`) by
-default; ``--no-sim-cache`` disables it, with bit-identical tables
-either way.
+default; ``--no-sim-cache`` disables it, and ``--sim-cache-disk``
+additionally persists memoized slices under the cache dir so later
+processes replay them — bit-identical tables in every combination.
+All cache switches travel as one :class:`repro.config.CacheConfig`.
 
 ``mirage bench`` runs the :mod:`repro.bench` microbenchmarks and
 writes a schema-versioned ``BENCH_<label>.json``; ``mirage bench
@@ -324,13 +326,29 @@ def main(argv: list[str] | None = None) -> int:
         "--no-sim-cache", dest="sim_cache", action="store_false",
         help="disable detailed-tier slice memoization",
     )
+    parser.add_argument(
+        "--sim-cache-disk", dest="sim_cache_disk", action="store_true",
+        default=None,
+        help="persist memoized slices under the cache dir so later "
+             "processes replay them (bit-identical results)",
+    )
+    parser.add_argument(
+        "--no-sim-cache-disk", dest="sim_cache_disk",
+        action="store_false",
+        help="keep slice memoization in-memory only (the default)",
+    )
     args = parser.parse_args(argv)
 
-    if args.sim_cache is not None:
-        from repro import simcache
+    # One CacheConfig carries every cache switch from here down;
+    # apply() writes the env-backed ones so --jobs workers inherit.
+    from repro.config import CacheConfig
 
-        # Writes MIRAGE_SIM_CACHE too, so --jobs workers inherit it.
-        simcache.set_enabled(args.sim_cache)
+    cache_cfg = CacheConfig(
+        cache_dir=args.cache_dir,
+        use_result_cache=not args.no_cache,
+        sim_cache=args.sim_cache,
+        sim_cache_disk=args.sim_cache_disk,
+    ).apply()
 
     if args.list or args.experiment == "list":
         _print_listing()
@@ -369,8 +387,9 @@ def main(argv: list[str] | None = None) -> int:
         params = ExperimentParams(
             quick=args.quick,
             jobs=args.jobs,
-            use_cache=not args.no_cache,
-            cache_dir=args.cache_dir,
+            use_cache=cache_cfg.use_result_cache,
+            cache_dir=cache_cfg.cache_dir,
+            cache=cache_cfg,
             trace=args.trace,
         )
         print(f"=== {name} ===")

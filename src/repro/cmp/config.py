@@ -79,5 +79,6 @@ class ClusterConfig:
 
     @property
     def name(self) -> str:
+        """The cluster's display name, e.g. ``8:1-Mirage``."""
         kind = "Mirage" if self.mirage else "HetCMP"
         return f"{self.n_consumers}:{self.n_producers}-{kind}"

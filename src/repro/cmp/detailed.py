@@ -472,6 +472,10 @@ class DetailedBackend(ExecutionBackend):
             counters = ctx.telemetry.counters
             counters["simcache.entries"] = self.memo.num_entries
             counters["simcache.bytes"] = self.memo.approx_bytes
+            if self.memo.disk is not None:
+                counters["simcache.disk_hits"] = self.memo.stats.disk_hits
+                counters["simcache.disk_stores"] = (
+                    self.memo.stats.disk_stores)
 
     # -- the physical move ---------------------------------------------
     def _perform_migration(self, ctx: EngineContext,

@@ -15,9 +15,15 @@ from repro.cmp.config import ClusterConfig
 from repro.memory.bus import SharedBus
 
 
-@dataclass(frozen=True, slots=True)
+@dataclass(slots=True)
 class MigrationEvent:
-    """Cost record for one migration, in cycles."""
+    """Cost record for one migration, in cycles.
+
+    Treated as immutable by convention (not ``frozen=True``: the
+    frozen ``__init__`` routes every field through
+    ``object.__setattr__``, several times the cost of a plain store,
+    and these are built once per migration on the hot path).
+    """
 
     app: str
     interval_index: int
@@ -44,6 +50,12 @@ class MigrationCostModel:
         self.config = config
         self.bus = bus or SharedBus()
         self.events: list[MigrationEvent] = []
+        # Running per-component totals, kept in lockstep with `events`
+        # so cost_summary() stays O(1) on hot sweep paths.
+        self._totals = {
+            "drain": 0.0, "l1_warmup": 0.0,
+            "sc_transfer": 0.0, "bus_contention": 0.0,
+        }
 
     def migrate(
         self,
@@ -84,6 +96,11 @@ class MigrationCostModel:
             bus_contention_cycles=contention,
         )
         self.events.append(event)
+        totals = self._totals
+        totals["drain"] += event.drain_cycles
+        totals["l1_warmup"] += event.l1_warmup_cycles
+        totals["sc_transfer"] += sc_cycles
+        totals["bus_contention"] += contention
         return event
 
     # ------------------------------------------------------------------
@@ -93,13 +110,4 @@ class MigrationCostModel:
 
     def cost_summary(self) -> dict[str, float]:
         """Aggregate cycles by component (Figure 15's stacking)."""
-        out = {
-            "drain": 0.0, "l1_warmup": 0.0,
-            "sc_transfer": 0.0, "bus_contention": 0.0,
-        }
-        for e in self.events:
-            out["drain"] += e.drain_cycles
-            out["l1_warmup"] += e.l1_warmup_cycles
-            out["sc_transfer"] += e.sc_transfer_cycles
-            out["bus_contention"] += e.bus_contention_cycles
-        return out
+        return dict(self._totals)

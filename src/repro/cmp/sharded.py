@@ -1,0 +1,179 @@
+"""Process-sharded detailed-tier cluster runs.
+
+One :class:`~repro.cmp.detailed.DetailedMirageCluster` is a sealed
+world: it owns its memory hierarchy, bus, cores and telemetry, and the
+deferred-:class:`~repro.engine.backends.MigrationTicket` design keeps
+even migration accounting inside the cluster.  A sweep that needs
+several *independent* clusters (tier gates, multi-mix studies, bench
+probes) is therefore embarrassingly parallel — but the detailed tier
+is the slowest thing in the repo, so running those clusters serially
+dominates wall-clock.
+
+:class:`ShardedDetailedBackend` fans a list of :class:`ClusterSpec`
+descriptions over a process pool and merges the outcomes back in
+**spec order**, so the combined result is deterministic regardless of
+worker scheduling.  Each spec runs through the module-level
+:func:`run_cluster_spec` (picklable by construction) with a *private*
+slice memo, which makes the serial fallback bit-identical to the
+sharded run: no cross-spec memo coupling can leak between clusters in
+either mode.  With the disk slice store enabled
+(:func:`repro.simcache.disk_enabled`), workers still share warm slices
+across *runs* through the store — the cross-process design the memo's
+correctness model already covers.
+
+Routing is opt-in via the ``MIRAGE_DETAILED_SHARD`` environment
+variable (unset/``0`` = serial in-process, ``1`` = pool with one
+worker per CPU, ``N`` = pool of *N*); experiments that hold a list of
+independent detailed runs (e.g. the tier-validation gate) consult
+:func:`shard_jobs` and reroute through this module when it is set.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:
+    from repro.cmp.detailed import DetailedResult
+
+#: Environment toggle: unset/"0" serial, "1" one worker per CPU,
+#: any other integer a pool of that many workers.
+ENV_VAR = "MIRAGE_DETAILED_SHARD"
+
+
+def shard_jobs() -> int | None:
+    """The worker count ``MIRAGE_DETAILED_SHARD`` asks for, or ``None``.
+
+    ``None`` means "do not shard" (the variable is unset, ``0``, or
+    unparseable); ``1`` still means "route through the pool machinery"
+    — useful for exercising the sharded path deterministically.
+    """
+    raw = os.environ.get(ENV_VAR, "").strip()
+    if not raw or raw == "0":
+        return None
+    try:
+        jobs = int(raw)
+    except ValueError:
+        return None
+    if jobs < 1:
+        return None
+    if raw == "1":
+        return max(1, os.cpu_count() or 1)
+    return jobs
+
+
+@dataclass(frozen=True, slots=True)
+class ClusterSpec:
+    """Everything needed to rebuild one detailed cluster in a worker.
+
+    Benchmarks travel as ``(name, seed, base_addr)`` triples and the
+    arbitrator by registry name
+    (:data:`repro.runner.units.ARBITRATORS`), so a spec is small,
+    hashable and picklable; the worker re-derives the actual objects.
+    """
+
+    benchmarks: tuple                  #: of (name, seed, base_addr)
+    arbitrator: str = "SC-MPKI"
+    sc_capacity: int = 8 * 1024
+    slice_instructions: int = 8_000
+    n_slices: int = 16
+    #: Telemetry event kinds to capture and ship back (e.g.
+    #: ``("migration",)``); empty captures nothing.
+    record_kinds: tuple = ()
+
+
+@dataclass(slots=True)
+class ShardOutcome:
+    """What one :class:`ClusterSpec` run sends back from its worker."""
+
+    result: "DetailedResult"
+    counters: dict          #: the cluster's full telemetry counters
+    records: list           #: captured events, in emission order
+
+
+def run_cluster_spec(spec: ClusterSpec) -> ShardOutcome:
+    """Build, run and summarize one cluster — in any process.
+
+    Module-level and argument-picklable so a
+    :class:`~concurrent.futures.ProcessPoolExecutor` can ship it; the
+    slice memo is private to the call (plus the shared disk store when
+    that layer is on), so outcomes do not depend on what else ran in
+    the same process — serial and sharded execution are bit-identical.
+    """
+    from repro import simcache
+    from repro.cmp.detailed import DetailedMirageCluster
+    from repro.runner.units import ARBITRATORS
+    from repro.telemetry import MemorySink, Telemetry
+    from repro.workloads import make_benchmark
+
+    benches = [
+        make_benchmark(name, seed=seed, base_addr=base_addr)
+        for name, seed, base_addr in spec.benchmarks
+    ]
+    telemetry = Telemetry()
+    sink = None
+    if spec.record_kinds:
+        sink = telemetry.attach(MemorySink(kinds=set(spec.record_kinds)))
+    if simcache.enabled():
+        disk = (simcache.SliceStore.shared()
+                if simcache.disk_enabled() else None)
+        memo = simcache.SliceMemo(disk=disk)
+    else:
+        memo = False
+    cluster = DetailedMirageCluster(
+        benches, ARBITRATORS[spec.arbitrator](),
+        sc_capacity=spec.sc_capacity,
+        slice_instructions=spec.slice_instructions,
+        telemetry=telemetry,
+        sim_cache=memo,
+    )
+    result = cluster.run(n_slices=spec.n_slices)
+    return ShardOutcome(
+        result=result,
+        counters=dict(telemetry.counters),
+        records=list(sink.events) if sink is not None else [],
+    )
+
+
+def merge_counters(outcomes: "list[ShardOutcome]") -> dict:
+    """Sum every shard's counters, in spec order (deterministic)."""
+    merged: dict = {}
+    for outcome in outcomes:
+        for name, value in outcome.counters.items():
+            merged[name] = merged.get(name, 0) + value
+    return merged
+
+
+class ShardedDetailedBackend:
+    """Runs independent cluster specs over a worker pool.
+
+    ``jobs=None`` follows :func:`shard_jobs` (and runs serially when
+    that is ``None``); any explicit count forces a pool of that size.
+    Worker-pool failures that predate any result (sandboxes that
+    forbid ``fork``/semaphores) degrade to the serial path, which
+    produces bit-identical outcomes by construction.
+    """
+
+    def __init__(self, specs: "list[ClusterSpec] | tuple", *,
+                 jobs: int | None = None):
+        self.specs = list(specs)
+        self.jobs = jobs
+
+    def _serial(self) -> "list[ShardOutcome]":
+        return [run_cluster_spec(spec) for spec in self.specs]
+
+    def run(self) -> "list[ShardOutcome]":
+        """Every spec's outcome, in spec order."""
+        jobs = self.jobs if self.jobs is not None else shard_jobs()
+        if jobs is None or jobs <= 1 or len(self.specs) <= 1:
+            return self._serial()
+        try:
+            with ProcessPoolExecutor(
+                    max_workers=min(jobs, len(self.specs))) as pool:
+                # pool.map preserves input order: the merge is
+                # deterministic no matter which worker finishes first.
+                return list(pool.map(run_cluster_spec, self.specs))
+        except (OSError, PermissionError):
+            return self._serial()

@@ -37,10 +37,20 @@ from repro.engine.views import interval_tier_views
 from repro.metrics import system_throughput
 from repro.telemetry import IntervalRecord, MemorySink, Telemetry
 
-#: The bespoke history row is superseded by the telemetry schema's
-#: :class:`~repro.telemetry.events.IntervalRecord`; the old name stays
-#: as an alias for existing callers.
-IntervalSample = IntervalRecord
+def __getattr__(name: str):
+    # The bespoke history row was superseded by the telemetry schema's
+    # IntervalRecord; the old deep-import spelling keeps resolving (to
+    # the identical class) but steers callers to the supported names.
+    if name == "IntervalSample":
+        import warnings
+
+        warnings.warn(
+            "repro.cmp.system.IntervalSample is deprecated; import "
+            "IntervalRecord from repro.api (or repro.telemetry)",
+            DeprecationWarning, stacklevel=2)
+        return IntervalRecord
+    raise AttributeError(
+        f"module {__name__!r} has no attribute {name!r}")
 
 
 @dataclass
@@ -63,6 +73,7 @@ class CMPResult:
 
     @property
     def stp(self) -> float:
+        """System throughput: the mean of the per-app speedups."""
         return system_throughput(self.speedups)
 
 
@@ -87,6 +98,7 @@ class CMPSystem:
         energy_model: CoreEnergyModel | None = None,
         record_history: bool = False,
         telemetry: Telemetry | None = None,
+        vectorize: bool | None = None,
     ):
         if (config.n_producers > 0
                 and config.n_consumers + config.n_producers < len(apps)):
@@ -115,7 +127,9 @@ class CMPSystem:
         if record_history:
             self._history_sink = self.telemetry.attach(
                 MemorySink(kinds={"interval"}))
-        self.backend = AnalyticBackend(self.migration)
+        # vectorize picks the bit-identical advance_all kernel (None =
+        # auto by cluster width / MIRAGE_VECTOR; see AnalyticBackend).
+        self.backend = AnalyticBackend(self.migration, vectorize=vectorize)
         self.phases = [
             ArbitrationPhase(arbitrator),
             MigrationPhase(),
@@ -139,6 +153,7 @@ class CMPSystem:
 
     # ------------------------------------------------------------------
     def run(self, *, max_intervals: int = 50_000) -> CMPResult:
+        """Simulate until every app completes (or *max_intervals*)."""
         cfg = self.config
         ctx = self.engine.run(max_intervals=max_intervals)
         k = ctx.intervals

@@ -1,0 +1,110 @@
+"""One knob surface for every cache layer.
+
+The repo grew three caching layers, each with its own switches:
+
+* the **result cache** (:mod:`repro.runner.cache`) — finished work-unit
+  payloads on disk, controlled by ``--cache-dir`` / ``--no-cache``;
+* the **slice memo** (:mod:`repro.simcache`) — in-memory detailed-tier
+  slice replay, controlled by ``--sim-cache`` / ``--no-sim-cache`` and
+  the ``MIRAGE_SIM_CACHE`` environment variable;
+* the memo's **disk store** — cross-process slice persistence under
+  the result-cache directory, controlled by ``--sim-cache-disk`` and
+  ``MIRAGE_SIM_CACHE_DISK``.
+
+:class:`CacheConfig` collapses those into one dataclass that the CLI
+builds once and threads through
+:class:`~repro.experiments.registry.ExperimentParams` to the sweep
+runner and (via the process-wide switches in :mod:`repro.simcache`)
+the backends.  ``None`` fields mean "follow the environment", so a
+config built from defaults changes nothing.
+
+:func:`default_cache_dir` lives here (re-exported from
+:mod:`repro.runner.cache` for compatibility) because both the result
+cache and the slice store root under it.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from pathlib import Path
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:
+    from repro.runner.cache import ResultCache
+
+
+def default_cache_dir() -> Path:
+    """``$MIRAGE_CACHE_DIR``, else ``$XDG_CACHE_HOME/mirage``, else
+    ``~/.cache/mirage``."""
+    env = os.environ.get("MIRAGE_CACHE_DIR")
+    if env:
+        return Path(env)
+    xdg = os.environ.get("XDG_CACHE_HOME")
+    base = Path(xdg) if xdg else Path.home() / ".cache"
+    return base / "mirage"
+
+
+@dataclass
+class CacheConfig:
+    """Every cache switch, in one picklable place.
+
+    Attributes:
+        cache_dir: root for the result cache and the slice store
+            (``None`` = :func:`default_cache_dir`).
+        use_result_cache: consult/populate the on-disk result cache.
+        sim_cache: detailed-tier slice memoization; ``None`` follows
+            the ``MIRAGE_SIM_CACHE`` environment (default on).
+        sim_cache_disk: persist memoized slices to disk; ``None``
+            follows ``MIRAGE_SIM_CACHE_DISK`` (default off).
+    """
+
+    cache_dir: str | Path | None = None
+    use_result_cache: bool = True
+    sim_cache: bool | None = None
+    sim_cache_disk: bool | None = None
+
+    @classmethod
+    def from_env(cls) -> "CacheConfig":
+        """The configuration the current environment implies.
+
+        Materializes the env-var switches into concrete booleans, so
+        the result describes (rather than defers to) the environment.
+        """
+        from repro import simcache
+
+        return cls(
+            cache_dir=os.environ.get("MIRAGE_CACHE_DIR") or None,
+            use_result_cache=True,
+            sim_cache=simcache.enabled(),
+            sim_cache_disk=simcache.disk_enabled(),
+        )
+
+    def apply(self) -> "CacheConfig":
+        """Push the slice-memo switches process-wide and return self.
+
+        Writes through :func:`repro.simcache.set_enabled` /
+        :func:`~repro.simcache.set_disk_enabled` (which also export
+        the env vars, so ``--jobs`` worker processes inherit them) and
+        exports ``MIRAGE_CACHE_DIR`` when a directory is set, so the
+        slice store roots under the same tree in every process.
+        ``None`` fields change nothing.
+        """
+        from repro import simcache
+
+        if self.cache_dir is not None:
+            os.environ["MIRAGE_CACHE_DIR"] = str(self.cache_dir)
+        if self.sim_cache is not None:
+            simcache.set_enabled(self.sim_cache)
+        if self.sim_cache_disk is not None:
+            simcache.set_disk_enabled(self.sim_cache_disk)
+        return self
+
+    def result_cache(self) -> "ResultCache | None":
+        """The :class:`~repro.runner.cache.ResultCache` this config
+        asks for, or ``None`` when the result cache is off."""
+        if not self.use_result_cache:
+            return None
+        from repro.runner.cache import ResultCache
+
+        return ResultCache(self.cache_dir)

@@ -16,6 +16,8 @@ in alongside the standard ones (see ``docs/api.md``).
 
 from repro.engine.backends import (
     ENGINE_CACHE_TAG,
+    VECTOR_ENV,
+    VECTOR_MIN_APPS,
     AnalyticBackend,
     ExecutionBackend,
     MigrationTicket,
@@ -31,12 +33,19 @@ from repro.engine.phases import (
     account_migration,
 )
 from repro.engine.state import AppState, ExecOutcome
-from repro.engine.views import build_app_view, interval_tier_views
+from repro.engine.views import (
+    AppViewBatch,
+    build_app_view,
+    interval_tier_views,
+)
 
 __all__ = [
     "ENGINE_CACHE_TAG",
+    "VECTOR_ENV",
+    "VECTOR_MIN_APPS",
     "AnalyticBackend",
     "AppState",
+    "AppViewBatch",
     "ArbitrationPhase",
     "EngineContext",
     "EnginePhase",

@@ -31,27 +31,87 @@ move at the start of that application's :meth:`ExecutionBackend.advance`
 (the detailed tier does: flushing the producer's L1 the moment the
 *outgoing* application is processed — rather than before the incoming
 one runs its first slice — is part of the measured hand-off cost).
+
+The batch-first protocol
+------------------------
+The pipeline drives backends through batch entry points —
+:meth:`ExecutionBackend.views_batch` hands the arbitrator an
+:class:`~repro.engine.views.AppViewBatch` and
+:meth:`ExecutionBackend.advance_all` executes every application for
+the interval — with per-application :meth:`~ExecutionBackend.views` /
+:meth:`~ExecutionBackend.advance` kept as the reference surface the
+defaults delegate to.  :class:`AnalyticBackend` exploits the batch
+seam twice over, with two interchangeable kernels:
+
+* a **fused scalar kernel** (the default): the same Equation-3 /
+  phase-table math as the reference :meth:`~AnalyticBackend.advance`,
+  with the per-model constants precomputed once per
+  ``(AppModel, SC capacity)`` into flat tuples (:func:`_model_aux`)
+  and the phase walk run over precomputed spans;
+* a **numpy vector kernel** for wide clusters: application state
+  lives in struct-of-arrays form (:class:`_VectorState`) between
+  intervals and one numpy pass advances everyone, using exact
+  bit-for-bit phase-boundary thresholds (:func:`_model_thresholds`).
+
+Both kernels are bit-identical to the reference ``advance`` — the
+randomized equivalence suite in ``tests/test_vectorized.py`` holds
+them to that — so kernel selection is pure mechanism: the
+``vectorize=`` constructor argument wins, else the ``MIRAGE_VECTOR``
+environment variable (``0``/``1``), else clusters with at least
+:data:`VECTOR_MIN_APPS` applications go vectorized (one numpy pass
+only amortizes its fixed per-ufunc cost on wide batches).
 """
 
 from __future__ import annotations
 
+import math
+import os
+import struct
 from abc import ABC, abstractmethod
 from dataclasses import dataclass, field
+from functools import lru_cache
 from typing import TYPE_CHECKING
 
+from repro.characterize.phase_model import (
+    OINO_REPLAY_EFFICIENCY,
+    TRACES_PER_KILO_INSTR,
+)
 from repro.engine.state import ExecOutcome
-from repro.engine.views import interval_tier_views
+from repro.engine.views import AppViewBatch
 
 if TYPE_CHECKING:
     from repro.arbiter.base import AppView
+    from repro.characterize.phase_model import AppModel
     from repro.cmp.migration import MigrationCostModel, MigrationEvent
     from repro.engine.phases import EngineContext
 
 #: Engine/backend schema identifier, mixed into every
 #: :class:`~repro.runner.cache.ResultCache` key: results produced by a
 #: different loop/backend generation (e.g. the pre-unification bespoke
-#: simulators) can never be served against the unified engine.
-ENGINE_CACHE_TAG = "interval-engine/backends-v1"
+#: simulators, or the pre-batch protocol) can never be served against
+#: the current engine.
+ENGINE_CACHE_TAG = "interval-engine/backends-v2"
+
+#: Environment override for the analytic kernel choice (``0``/``1``);
+#: the ``vectorize=`` constructor argument is stronger, auto-width
+#: selection weaker.
+VECTOR_ENV = "MIRAGE_VECTOR"
+
+#: Auto mode vectorizes clusters at least this wide.  Below it the
+#: fused scalar kernel wins: a numpy pass costs a fixed ~40 ufunc
+#: dispatches per interval regardless of width.
+VECTOR_MIN_APPS = 32
+
+_np = None
+
+
+def _numpy():
+    """Import numpy on first vector-kernel use (scalar runs never pay)."""
+    global _np
+    if _np is None:
+        import numpy
+        _np = numpy
+    return _np
 
 
 @dataclass(slots=True)
@@ -81,18 +141,40 @@ class ExecutionBackend(ABC):
     per-application :class:`~repro.engine.state.AppState` records are
     the shared language (backends keep substrate extras — instruction
     streams, core models — on their own side of the seam).
+
+    The pipeline prefers the batch entry points
+    (:meth:`views_batch` / :meth:`advance_all`); their defaults
+    delegate to the per-application :meth:`views` / :meth:`advance`,
+    so a backend only implements what it can accelerate.
     """
 
     #: Short identifier used in logs, docs and cache keys.
     name: str = "backend"
 
-    def views(self, ctx: "EngineContext") -> "list[AppView]":
-        """The arbitrator's performance-counter view of every app.
+    def begin_run(self, ctx: "EngineContext") -> None:
+        """Hook run once before the loop's first interval.
+
+        Backends that keep run-scoped acceleration state (the vector
+        kernel's arrays) seed it here; stateless backends ignore it.
+        """
+
+    def views_batch(self, ctx: "EngineContext") -> AppViewBatch:
+        """The arbitrator's batched counter view of every app.
 
         Both tiers mirror their counters into ``AppState``, so the
-        shared Equation-3 builder is the default for everyone.
+        state-backed batch is the default for everyone; fast-path
+        arbitrators read the records directly, the rest materialize
+        the historical view list from it.
         """
-        return interval_tier_views(ctx.apps)
+        return AppViewBatch.from_states(ctx.apps)
+
+    def views(self, ctx: "EngineContext") -> "list[AppView]":
+        """The per-application view list (reference surface).
+
+        Defined in terms of :meth:`views_batch`, so overriding the
+        batch is enough to change both.
+        """
+        return self.views_batch(ctx).views()
 
     @abstractmethod
     def migrate(self, ctx: "EngineContext", index: int, *,
@@ -116,8 +198,339 @@ class ExecutionBackend(ABC):
         SC-MPKI, residency times) so the next arbitration sees them.
         """
 
+    def advance_all(self, ctx: "EngineContext") -> None:
+        """Advance every application by one interval.
+
+        Fills ``ctx.outcomes`` in application order.  The default
+        loops :meth:`advance`; backends with a batch kernel override
+        this and must produce bit-identical outcomes and state.
+        """
+        for i in range(len(ctx.apps)):
+            ctx.outcomes[i] = self.advance(ctx, i)
+
+    def sync_apps(self, ctx: "EngineContext") -> None:
+        """Flush any backend-held state into the ``AppState`` records.
+
+        Custom phases that *read* AppState fields the backend may hold
+        elsewhere (the vector kernel's arrays) call this first; for
+        state-backed backends it is a no-op.
+        """
+
+    def absorb_apps(self, ctx: "EngineContext") -> None:
+        """Re-read the ``AppState`` records into backend-held state.
+
+        The write-side counterpart of :meth:`sync_apps`: custom phases
+        that *mutated* AppState fields call this so the backend's next
+        interval observes the edits.
+        """
+
     def finalize(self, ctx: "EngineContext") -> None:
         """Hook run once after the loop (fold substrate counters)."""
+
+
+# ----------------------------------------------------------------------
+# Fused scalar kernel
+# ----------------------------------------------------------------------
+@lru_cache(maxsize=None)
+def _model_aux(model: "AppModel", sc_capacity_bytes: int):
+    """Flat per-phase constant tables for one (model, SC capacity).
+
+    Every derived constant is computed with the exact expressions the
+    reference :meth:`AnalyticBackend.advance` evaluates per interval
+    (:meth:`~repro.characterize.phase_model.PhaseProfile.sc_mpki_ooo`,
+    the SC fit, the volatility retention factor), so kernels reading
+    these tables stay bit-identical to it.  ``AppModel`` is frozen and
+    hashable; equal models share one entry across runs.
+    """
+    pass_instr = model.pass_instructions
+    spans = tuple(p.weight * pass_instr for p in model.phases)
+    rows = tuple(
+        (
+            p.ipc_ooo,
+            p.ipc_ino,
+            p.memoizable,
+            1.0 - p.volatility,
+            min(1.0, (sc_capacity_bytes / 1024.0) / max(0.25, p.trace_kb)),
+            (1.0 - p.memoizable) * TRACES_PER_KILO_INSTR,
+            p.phase_id,
+        )
+        for p in model.phases
+    )
+    return pass_instr, spans, rows
+
+
+def _advance_app(app, aux, interval, budget, mig_cost, mirage,
+                 index) -> ExecOutcome:
+    """One application-interval of the analytic model, fused.
+
+    The same arithmetic as the reference
+    :meth:`AnalyticBackend.advance`, operation for operation — only
+    the per-phase constants come from *aux* (this application's
+    :func:`_model_aux` tables, resolved once per run: hashing the
+    nested ``AppModel`` on every lookup would dominate the kernel)
+    and the phase walk runs over the precomputed spans.  The
+    randomized equivalence suite asserts bit-identical
+    ``ExecOutcome``/``AppState`` against the reference.
+    """
+    pass_instr, spans, rows = aux
+    effective = interval - mig_cost
+    if not effective > 0.0:
+        effective = 0.0
+    before = app.instr_done
+    pos = before % pass_instr
+    idx = 0
+    last = len(spans) - 1
+    while idx < last and pos >= spans[idx]:
+        pos -= spans[idx]
+        idx += 1
+    (ipc_ooo, ipc_ino, memoizable, retain, fit, mpki_ooo,
+     phase_id) = rows[idx]
+
+    if app.on_ooo:
+        ipc = ipc_ooo
+        kind = "ooo"
+        memo_frac = 0.0
+        if mirage:
+            app.sc_phase_id = phase_id
+            app.sc_coverage = fit
+            app.sc_mpki_ooo_last = mpki_ooo
+            sc_mpki = mpki_ooo
+            app.sc_mpki_ino_last = mpki_ooo
+        else:
+            sc_mpki = 0.0
+        app.t_ooo += effective
+        app.intervals_since_ooo = 0
+        app.ooo_intervals += 1
+        app.ipc_ooo_last = ipc
+    else:
+        app.intervals_since_ooo += 1
+        if mirage:
+            if app.sc_phase_id == phase_id:
+                coverage = app.sc_coverage * retain
+            else:
+                coverage = 0.0
+            app.sc_coverage = coverage
+            covered = memoizable * coverage
+            ipc = (covered * OINO_REPLAY_EFFICIENCY * ipc_ooo
+                   + (1.0 - covered) * ipc_ino)
+            sc_mpki = (1.0 - covered) * TRACES_PER_KILO_INSTR
+            memo_frac = covered
+            app.t_memoized += effective * memo_frac
+            kind = "oino"
+        else:
+            ipc = ipc_ino
+            sc_mpki = 0.0
+            memo_frac = 0.0
+            kind = "ino"
+        app.sc_mpki_ino_last = sc_mpki
+
+    app.ipc_last = ipc
+    app.t_total += interval
+
+    progress = ipc * effective
+    app.instr_done = before + progress
+    rem = before % budget
+    if rem + progress >= budget:
+        app.completions += 1
+        if app.first_completion_cycles is None:
+            denom = progress if progress > 1e-9 else 1e-9
+            frac = (budget - rem) / denom
+            app.first_completion_cycles = (index + frac) * interval
+
+    # Positional: same ExecOutcome as the reference builds by keyword,
+    # minus the per-call keyword-binding overhead (288k calls per run
+    # on the interval-engine probe make it measurable).
+    return ExecOutcome(kind, ipc, memo_frac, effective, None,
+                       ipc_ooo, sc_mpki, app.sc_mpki_ooo_last, phase_id)
+
+
+# ----------------------------------------------------------------------
+# Vector kernel
+# ----------------------------------------------------------------------
+def _f2b(x: float) -> int:
+    return struct.unpack("<q", struct.pack("<d", x))[0]
+
+
+def _b2f(b: int) -> float:
+    return struct.unpack("<d", struct.pack("<q", b))[0]
+
+
+def _walk_index(pos: float, spans: tuple) -> int:
+    """The reference ``phase_at`` subtraction walk, returning an index."""
+    idx = 0
+    last = len(spans) - 1
+    while idx < last and pos >= spans[idx]:
+        pos -= spans[idx]
+        idx += 1
+    return idx
+
+
+@lru_cache(maxsize=None)
+def _model_thresholds(model: "AppModel") -> tuple:
+    """Exact phase-transition thresholds of ``phase_at`` for one model.
+
+    ``phase_at`` is a monotone step function of ``pos = instr %
+    pass_instructions`` (float subtraction preserves order), so for
+    each phase index ``k`` there is a smallest double ``T_k`` with
+    ``walk(T_k) >= k``; bisecting over the monotone non-negative
+    float64 bit patterns finds it exactly, making the vectorized
+    lookup ``(pos >= T).sum()`` agree with the walk *bit for bit* —
+    including every rounding quirk of the sequential subtractions.
+    ``inf`` marks transitions the in-range walk never reaches.
+    """
+    pass_instr = model.pass_instructions
+    spans = tuple(p.weight * pass_instr for p in model.phases)
+    top = math.nextafter(float(pass_instr), 0.0)
+    out = []
+    for k in range(1, len(spans)):
+        if _walk_index(0.0, spans) >= k:
+            out.append(0.0)
+            continue
+        if _walk_index(top, spans) < k:
+            out.append(math.inf)
+            continue
+        lo, hi = 0, _f2b(top)
+        while hi - lo > 1:
+            mid = (lo + hi) // 2
+            if _walk_index(_b2f(mid), spans) >= k:
+                hi = mid
+            else:
+                lo = mid
+        out.append(_b2f(hi))
+    return tuple(out)
+
+
+class _VectorState:
+    """Struct-of-arrays mirror of every ``AppState``, one run's worth.
+
+    Between intervals the arrays are authoritative for the
+    advance-owned counters; ``on_ooo``, ``completions`` and
+    ``first_completion_cycles`` are additionally mirrored into the
+    ``AppState`` records eagerly because the loop's early-exit test,
+    the energy phase and the migration phase read them every interval.
+    ``energy_pj`` never enters the arrays — the energy phase owns it.
+    ``None``-valued counters are encoded as ``NaN`` (floats) so each
+    column keeps one dtype; phase ids are float64 (small ints are
+    exact).
+    """
+
+    __slots__ = (
+        "n", "names", "pass_instr", "thresholds", "props", "arange",
+        "instr_done", "completions", "first_completion", "on_ooo",
+        "sc_phase_id", "sc_coverage", "ipc_last", "ipc_ooo_last",
+        "sc_mpki_ino_last", "sc_mpki_ooo_last", "intervals_since_ooo",
+        "t_ooo", "t_memoized", "t_total", "ooo_intervals",
+    )
+
+    def __init__(self, apps, config):
+        np = _numpy()
+        n = len(apps)
+        self.n = n
+        self.names = [a.model.name for a in apps]
+        sc_capacity = config.sc_capacity_bytes
+        self.pass_instr = np.array(
+            [float(a.model.pass_instructions) for a in apps])
+        thresholds = [_model_thresholds(a.model) for a in apps]
+        width = max(max((len(t) for t in thresholds), default=0), 1)
+        tmat = np.full((n, width), math.inf)
+        for i, row in enumerate(thresholds):
+            tmat[i, :len(row)] = row
+        self.thresholds = tmat
+        depth = max(len(a.model.phases) for a in apps)
+        props = np.empty((n, depth, 7))
+        for i, a in enumerate(apps):
+            rows = _model_aux(a.model, sc_capacity)[2]
+            for j in range(depth):
+                props[i, j] = rows[min(j, len(rows) - 1)]
+        self.props = props
+        self.arange = np.arange(n)
+        self.absorb(apps)
+
+    # ------------------------------------------------------------------
+    def absorb(self, apps) -> None:
+        """Load the arrays from the live ``AppState`` records."""
+        np = _numpy()
+        nan = math.nan
+        self.instr_done = np.array([a.instr_done for a in apps])
+        self.completions = np.array(
+            [a.completions for a in apps], dtype=np.int64)
+        self.first_completion = np.array(
+            [nan if a.first_completion_cycles is None
+             else a.first_completion_cycles for a in apps])
+        self.on_ooo = np.array([a.on_ooo for a in apps], dtype=bool)
+        self.sc_phase_id = np.array(
+            [nan if a.sc_phase_id is None else float(a.sc_phase_id)
+             for a in apps])
+        self.sc_coverage = np.array([a.sc_coverage for a in apps])
+        self.ipc_last = np.array([a.ipc_last for a in apps])
+        self.ipc_ooo_last = np.array(
+            [nan if a.ipc_ooo_last is None else a.ipc_ooo_last
+             for a in apps])
+        self.sc_mpki_ino_last = np.array(
+            [a.sc_mpki_ino_last for a in apps])
+        self.sc_mpki_ooo_last = np.array(
+            [nan if a.sc_mpki_ooo_last is None else a.sc_mpki_ooo_last
+             for a in apps])
+        self.intervals_since_ooo = np.array(
+            [a.intervals_since_ooo for a in apps], dtype=np.int64)
+        self.t_ooo = np.array([a.t_ooo for a in apps])
+        self.t_memoized = np.array([a.t_memoized for a in apps])
+        self.t_total = np.array([a.t_total for a in apps])
+        self.ooo_intervals = np.array(
+            [a.ooo_intervals for a in apps], dtype=np.int64)
+
+    def sync(self, apps) -> None:
+        """Write the arrays back into the live ``AppState`` records."""
+        instr = self.instr_done.tolist()
+        comp = self.completions.tolist()
+        first = self.first_completion.tolist()
+        on = self.on_ooo.tolist()
+        pid = self.sc_phase_id.tolist()
+        cov = self.sc_coverage.tolist()
+        ipc = self.ipc_last.tolist()
+        ipc_ooo = self.ipc_ooo_last.tolist()
+        mpki_ino = self.sc_mpki_ino_last.tolist()
+        mpki_ooo = self.sc_mpki_ooo_last.tolist()
+        since = self.intervals_since_ooo.tolist()
+        t_ooo = self.t_ooo.tolist()
+        t_memo = self.t_memoized.tolist()
+        t_total = self.t_total.tolist()
+        ooo_n = self.ooo_intervals.tolist()
+        for i, a in enumerate(apps):
+            a.instr_done = instr[i]
+            a.completions = comp[i]
+            f = first[i]
+            a.first_completion_cycles = None if f != f else f
+            a.on_ooo = on[i]
+            p = pid[i]
+            a.sc_phase_id = None if p != p else int(p)
+            a.sc_coverage = cov[i]
+            a.ipc_last = ipc[i]
+            io = ipc_ooo[i]
+            a.ipc_ooo_last = None if io != io else io
+            a.sc_mpki_ino_last = mpki_ino[i]
+            mo = mpki_ooo[i]
+            a.sc_mpki_ooo_last = None if mo != mo else mo
+            a.intervals_since_ooo = since[i]
+            a.t_ooo = t_ooo[i]
+            a.t_memoized = t_memo[i]
+            a.t_total = t_total[i]
+            a.ooo_intervals = ooo_n[i]
+
+    def batch(self) -> AppViewBatch:
+        """Zero-copy array-backed batch over the live columns."""
+        return AppViewBatch.from_arrays(
+            names=self.names,
+            ipc_last=self.ipc_last,
+            ipc_ooo_last=self.ipc_ooo_last,
+            sc_mpki_ino=self.sc_mpki_ino_last,
+            sc_mpki_ooo=self.sc_mpki_ooo_last,
+            intervals_since_ooo=self.intervals_since_ooo,
+            on_ooo=self.on_ooo,
+            t_ooo=self.t_ooo,
+            t_memoized=self.t_memoized,
+            t_total=self.t_total,
+        )
 
 
 class AnalyticBackend(ExecutionBackend):
@@ -128,34 +541,118 @@ class AnalyticBackend(ExecutionBackend):
     deliver; migrations are priced by the
     :class:`~repro.cmp.migration.MigrationCostModel` and charged
     against the interval (capped at 90 % of it).
+
+    ``vectorize`` selects the :meth:`advance_all` kernel: ``True`` /
+    ``False`` force the numpy vector or fused scalar kernel, ``None``
+    (the default) defers to ``MIRAGE_VECTOR`` and then to cluster
+    width (at least :data:`VECTOR_MIN_APPS` applications go
+    vectorized).  Either way :meth:`advance` remains the reference
+    implementation and every kernel is bit-identical to it.
     """
 
     name = "analytic"
 
-    def __init__(self, cost_model: "MigrationCostModel"):
+    def __init__(self, cost_model: "MigrationCostModel", *,
+                 vectorize: bool | None = None):
         self.migration = cost_model
+        self.vectorize = vectorize
+        self._vec: _VectorState | None = None
+        self._aux: list | None = None     #: per-app _model_aux, per run
+        self._batch: AppViewBatch | None = None
+        self._batch_src: list | None = None
 
+    # ------------------------------------------------------------------
+    def _use_vector(self, n_apps: int) -> bool:
+        if self.vectorize is not None:
+            return bool(self.vectorize)
+        env = os.environ.get(VECTOR_ENV)
+        if env is not None:
+            return env != "0"
+        return n_apps >= VECTOR_MIN_APPS
+
+    def begin_run(self, ctx: "EngineContext") -> None:
+        """Seed this run's kernel state (aux tables or vector arrays)."""
+        sc_capacity = ctx.config.sc_capacity_bytes
+        self._aux = [_model_aux(a.model, sc_capacity) for a in ctx.apps]
+        self._batch = None
+        self._batch_src = None
+        if self._use_vector(len(ctx.apps)):
+            self._vec = _VectorState(ctx.apps, ctx.config)
+        else:
+            self._vec = None
+
+    def views_batch(self, ctx: "EngineContext") -> AppViewBatch:
+        """Array-backed batch under the vector kernel, else state-backed."""
+        if self._vec is not None:
+            return self._vec.batch()
+        # The state-backed batch only holds references to the live
+        # AppState records, so one instance serves the whole run (the
+        # engine never changes the membership of ctx.apps mid-run).
+        if self._batch is None or self._batch_src is not ctx.apps:
+            self._batch = AppViewBatch.from_states(ctx.apps)
+            self._batch_src = ctx.apps
+        return self._batch
+
+    def sync_apps(self, ctx: "EngineContext") -> None:
+        """Flush the vector kernel's arrays into the ``AppState``s."""
+        if self._vec is not None:
+            self._vec.sync(ctx.apps)
+
+    def absorb_apps(self, ctx: "EngineContext") -> None:
+        """Reload the vector kernel's arrays from the ``AppState``s."""
+        if self._vec is not None:
+            self._vec.absorb(ctx.apps)
+
+    def finalize(self, ctx: "EngineContext") -> None:
+        """Flush vector-kernel state so results read from ``AppState``."""
+        if self._vec is not None:
+            self._vec.sync(ctx.apps)
+
+    # ------------------------------------------------------------------
     def migrate(self, ctx: "EngineContext", index: int, *,
                 to_ooo: bool) -> MigrationTicket:
         """Price the move now and charge it against this interval."""
         app = ctx.apps[index]
         cfg = ctx.config
+        vec = self._vec
         sc_bytes = 0
         if cfg.mirage:
-            sc_bytes = int(app.sc_coverage * cfg.sc_capacity_bytes)
+            coverage = (app.sc_coverage if vec is None
+                        else vec.sc_coverage[index])
+            sc_bytes = int(coverage * cfg.sc_capacity_bytes)
         event = self.migration.migrate(
             app.model.name, now_cycles=ctx.now,
             interval_index=ctx.index, to_ooo=to_ooo,
             sc_bytes=sc_bytes,
         )
-        charged = min(ctx.interval * 0.9, event.total_cycles)
+        # Inlined event.total_cycles (a property summing these four),
+        # and min() spelled as a conditional: identical charge.
+        total = (event.drain_cycles + event.l1_warmup_cycles
+                 + event.sc_transfer_cycles + event.bus_contention_cycles)
+        cap = ctx.interval * 0.9
+        charged = cap if cap < total else total
         app.on_ooo = to_ooo
-        return MigrationTicket(to_ooo=to_ooo, sc_bytes=sc_bytes,
-                               event=event, charged=charged)
+        if vec is not None:
+            vec.on_ooo[index] = to_ooo
+        return MigrationTicket(to_ooo, sc_bytes, event, charged)
 
+    # ------------------------------------------------------------------
     def advance(self, ctx: "EngineContext",
                 index: int) -> "ExecOutcome":
-        """One interval of the analytic phase-table model."""
+        """One interval of the analytic phase-table model (reference)."""
+        vec = self._vec
+        if vec is not None:
+            # Array-authoritative state: route the single-app call
+            # through the records so any kernel mix stays coherent.
+            vec.sync(ctx.apps)
+            try:
+                return self._advance_state(ctx, index)
+            finally:
+                vec.absorb(ctx.apps)
+        return self._advance_state(ctx, index)
+
+    def _advance_state(self, ctx: "EngineContext",
+                       index: int) -> "ExecOutcome":
         app = ctx.apps[index]
         cfg = ctx.config
         interval = ctx.interval
@@ -226,3 +723,136 @@ class AnalyticBackend(ExecutionBackend):
             alone_ipc=phase.ipc_ooo, sc_mpki=sc_mpki,
             sc_mpki_ref=app.sc_mpki_ooo_last, phase_id=phase.phase_id,
         )
+
+    # ------------------------------------------------------------------
+    def advance_all(self, ctx: "EngineContext") -> None:
+        """Advance everyone with the selected bit-identical kernel."""
+        if self._vec is not None:
+            self._advance_all_vector(ctx)
+            return
+        interval = ctx.interval
+        budget = ctx.budget
+        cfg = ctx.config
+        mirage = cfg.mirage
+        aux = self._aux
+        if aux is None or len(aux) != len(ctx.apps):
+            # Driven without begin_run (direct API use): resolve the
+            # tables for this call only — correct, just not cached.
+            sc_capacity = cfg.sc_capacity_bytes
+            aux = [_model_aux(a.model, sc_capacity) for a in ctx.apps]
+        mig = ctx.mig_cost
+        outcomes = ctx.outcomes
+        index = ctx.index
+        adv = _advance_app
+        for i, app in enumerate(ctx.apps):
+            outcomes[i] = adv(
+                app, aux[i], interval, budget, mig[i], mirage, index)
+
+    def _advance_all_vector(self, ctx: "EngineContext") -> None:
+        """One numpy pass over every application (bit-identical).
+
+        Elementwise float64 ufuncs are IEEE-754-identical to the
+        corresponding CPython operations, per-element evaluation
+        order/grouping matches the reference expression for expression,
+        and the phase lookup uses the exact thresholds of
+        :func:`_model_thresholds` — so the arrays evolve bit for bit
+        as the scalar kernels would evolve the records.
+        """
+        np = _numpy()
+        v = self._vec
+        cfg = ctx.config
+        mirage = cfg.mirage
+        interval = ctx.interval
+        budget = ctx.budget
+        mig = np.array(ctx.mig_cost)
+        effective = np.maximum(0.0, interval - mig)
+
+        pos = np.mod(v.instr_done, v.pass_instr)
+        idx = (pos[:, None] >= v.thresholds).sum(axis=1)
+        props = v.props[v.arange, idx]
+        p_ipc_ooo = props[:, 0]
+        p_ipc_ino = props[:, 1]
+        p_memo = props[:, 2]
+        p_retain = props[:, 3]
+        p_fit = props[:, 4]
+        p_mpki_ooo = props[:, 5]
+        p_phase_id = props[:, 6]
+
+        on = v.on_ooo
+        if mirage:
+            same = v.sc_phase_id == p_phase_id
+            cov_cons = np.where(same, v.sc_coverage * p_retain, 0.0)
+            covered = p_memo * cov_cons
+            ipc_cons = (covered * OINO_REPLAY_EFFICIENCY * p_ipc_ooo
+                        + (1.0 - covered) * p_ipc_ino)
+            mpki_cons = (1.0 - covered) * TRACES_PER_KILO_INSTR
+            memo_frac = np.where(on, 0.0, covered)
+            ipc = np.where(on, p_ipc_ooo, ipc_cons)
+            sc_mpki = np.where(on, p_mpki_ooo, mpki_cons)
+            v.sc_phase_id = np.where(on, p_phase_id, v.sc_phase_id)
+            v.sc_coverage = np.where(on, p_fit, cov_cons)
+            v.sc_mpki_ooo_last = np.where(
+                on, p_mpki_ooo, v.sc_mpki_ooo_last)
+            v.sc_mpki_ino_last = np.where(on, p_mpki_ooo, mpki_cons)
+            v.t_memoized = np.where(
+                on, v.t_memoized, v.t_memoized + effective * memo_frac)
+        else:
+            ipc = np.where(on, p_ipc_ooo, p_ipc_ino)
+            sc_mpki = np.zeros(v.n)
+            memo_frac = np.zeros(v.n)
+            v.sc_mpki_ino_last = np.where(on, v.sc_mpki_ino_last, 0.0)
+        v.t_ooo = np.where(on, v.t_ooo + effective, v.t_ooo)
+        v.intervals_since_ooo = np.where(
+            on, 0, v.intervals_since_ooo + 1)
+        v.ooo_intervals = v.ooo_intervals + on
+        v.ipc_ooo_last = np.where(on, p_ipc_ooo, v.ipc_ooo_last)
+        v.ipc_last = ipc
+        v.t_total = v.t_total + interval
+
+        before = v.instr_done
+        progress = ipc * effective
+        v.instr_done = before + progress
+        rem = np.mod(before, budget)
+        completed = rem + progress >= budget
+        if completed.any():
+            v.completions = v.completions + completed
+            new_first = completed & np.isnan(v.first_completion)
+            if new_first.any():
+                frac = (budget - rem) / np.maximum(1e-9, progress)
+                first = (ctx.index + frac) * interval
+                v.first_completion = np.where(
+                    new_first, first, v.first_completion)
+            # Eager mirror: the loop's early-exit test and the energy
+            # phase read completion state from the records directly.
+            comp = v.completions.tolist()
+            fc = v.first_completion.tolist()
+            apps = ctx.apps
+            for i in np.nonzero(completed)[0].tolist():
+                apps[i].completions = comp[i]
+                f = fc[i]
+                apps[i].first_completion_cycles = None if f != f else f
+
+        ipc_l = ipc.tolist()
+        memo_l = memo_frac.tolist()
+        eff_l = effective.tolist()
+        mpki_l = sc_mpki.tolist()
+        ref_l = v.sc_mpki_ooo_last.tolist()
+        alone_l = p_ipc_ooo.tolist()
+        pid_l = p_phase_id.tolist()
+        on_l = on.tolist()
+        outcomes = ctx.outcomes
+        for i in range(v.n):
+            if on_l[i]:
+                kind = "ooo"
+            elif mirage:
+                kind = "oino"
+            else:
+                kind = "ino"
+            ref = ref_l[i]
+            outcomes[i] = ExecOutcome(
+                kind=kind, ipc=ipc_l[i], memo_frac=memo_l[i],
+                effective=eff_l[i], alone_ipc=alone_l[i],
+                sc_mpki=mpki_l[i],
+                sc_mpki_ref=(None if ref != ref else ref),
+                phase_id=int(pid_l[i]),
+            )

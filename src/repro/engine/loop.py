@@ -65,21 +65,37 @@ class IntervalEngine:
             backend=self.backend,
             ooo_share=[0] * len(self.apps),
         )
+        begin_run = getattr(self.backend, "begin_run", None)
+        if begin_run is not None:
+            begin_run(ctx)
         profiler = self.telemetry.profiler
-        n_apps = len(self.apps)
+        psec = profiler.seconds
+        pcalls = profiler.calls
+        apps = self.apps
+        phases = self.phases
+        n_apps = len(apps)
+        interval = ctx.interval
         k = 0
         while k < max_intervals:
-            if all(a.completions >= 1 for a in self.apps):
+            # for/else spelling of all(a.completions >= 1): no
+            # generator allocation on the per-interval hot path.
+            for a in apps:
+                if a.completions < 1:
+                    break
+            else:
                 break
             ctx.index = k
-            ctx.now = k * ctx.interval
+            ctx.now = k * interval
             ctx.chosen = []
             ctx.mig_cost = [0.0] * n_apps
             ctx.outcomes = [None] * n_apps
-            for phase in self.phases:
+            for phase in phases:
+                name = phase.name
                 start = perf_counter()
                 phase.run(ctx)
-                profiler.add(phase.name, perf_counter() - start)
+                psec[name] = psec.get(name, 0.0) + (
+                    perf_counter() - start)
+                pcalls[name] = pcalls.get(name, 0) + 1
             k += 1
         ctx.intervals = k
         self.backend.finalize(ctx)

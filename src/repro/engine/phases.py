@@ -95,10 +95,12 @@ def account_migration(ctx: EngineContext, app_name: str,
     backends when they apply a pending move.
     """
     telemetry = ctx.telemetry
-    telemetry.counters.bump("migration.count")
-    telemetry.counters.bump("migration.sc_bytes", ticket.sc_bytes)
+    counters = telemetry.counters
+    counters["migration.count"] = counters.get("migration.count", 0) + 1
+    counters["migration.sc_bytes"] = (
+        counters.get("migration.sc_bytes", 0) + ticket.sc_bytes)
     for name, value in ticket.counters.items():
-        telemetry.counters.bump(name, value)
+        counters.bump(name, value)
     if telemetry.wants("migration"):
         event = ticket.event
         telemetry.emit(MigrationRecord(
@@ -129,18 +131,33 @@ class ArbitrationPhase(EnginePhase):
         cfg = ctx.config
         ctx.chosen = []
         if cfg.n_producers > 0 and self.arbitrator is not None:
-            ctx.chosen = self.arbitrator.pick(
-                ctx.backend.views(ctx), interval_index=ctx.index,
-                slots=cfg.n_producers,
-            )[: cfg.n_producers]
+            # Batch-first: arbitrators with a pick_batch fast path get
+            # the backend's AppViewBatch; everyone else (including
+            # duck-typed arbitrators or backends predating the batch
+            # protocol) goes through the historical view-list surface.
+            pick_batch = getattr(self.arbitrator, "pick_batch", None)
+            views_batch = getattr(ctx.backend, "views_batch", None)
+            if pick_batch is not None and views_batch is not None:
+                ctx.chosen = pick_batch(
+                    views_batch(ctx), interval_index=ctx.index,
+                    slots=cfg.n_producers,
+                )[: cfg.n_producers]
+            else:
+                ctx.chosen = self.arbitrator.pick(
+                    ctx.backend.views(ctx), interval_index=ctx.index,
+                    slots=cfg.n_producers,
+                )[: cfg.n_producers]
         if ctx.chosen:
             ctx.ooo_active_intervals += 1
             for i in ctx.chosen:
                 ctx.ooo_share[i] += 1
         telemetry = ctx.telemetry
-        telemetry.counters.bump("arbitration.granted", len(ctx.chosen))
+        counters = telemetry.counters
+        counters["arbitration.granted"] = (
+            counters.get("arbitration.granted", 0) + len(ctx.chosen))
         if not ctx.chosen and cfg.n_producers:
-            telemetry.counters.bump("arbitration.gated")
+            counters["arbitration.gated"] = (
+                counters.get("arbitration.gated", 0) + 1)
         if telemetry.wants("arbitration"):
             telemetry.emit(ArbitrationRecord(
                 interval=ctx.index,
@@ -179,13 +196,24 @@ class ExecutionPhase(EnginePhase):
     name = "execution"
 
     def run(self, ctx: EngineContext) -> None:
-        """Advance each app one interval, filling ``ctx.outcomes``."""
+        """Advance each app one interval, filling ``ctx.outcomes``.
+
+        Backends with a batch kernel fill every outcome in one
+        :meth:`~repro.engine.backends.ExecutionBackend.advance_all`
+        call; the default loops the per-application ``advance``.
+        Telemetry is emitted afterwards either way — ``advance`` never
+        changes ``on_ooo``, so the records are identical.
+        """
         backend = ctx.backend
-        wants_interval = ctx.telemetry.wants("interval")
-        for i, app in enumerate(ctx.apps):
-            outcome = backend.advance(ctx, i)
-            ctx.outcomes[i] = outcome
-            if wants_interval:
+        advance_all = getattr(backend, "advance_all", None)
+        if advance_all is not None:
+            advance_all(ctx)
+        else:
+            for i in range(len(ctx.apps)):
+                ctx.outcomes[i] = backend.advance(ctx, i)
+        if ctx.telemetry.wants("interval"):
+            for i, app in enumerate(ctx.apps):
+                outcome = ctx.outcomes[i]
                 ref = outcome.sc_mpki_ref
                 ctx.telemetry.emit(IntervalRecord(
                     interval=ctx.index,
@@ -224,6 +252,12 @@ class EnergyPhase(EnginePhase):
         interval = ctx.interval
         telemetry = ctx.telemetry
         wants_energy = telemetry.wants("energy")
+        # Constant per model instance: hoisted out of the per-app loop
+        # (same values, same addition order as computing them inline).
+        epi_oino = em.EPI_PJ["oino"]
+        epi_ino = em.EPI_PJ["ino"]
+        leak = em.leakage["ino"] + em.leakage["oino_extra"] + \
+            em.leakage["sc"]
         for app, outcome in zip(ctx.apps, ctx.outcomes):
             if outcome is None:
                 continue
@@ -234,10 +268,8 @@ class EnergyPhase(EnginePhase):
                 if outcome.kind == "oino":
                     # Blend OinO-mode power by how much replay happened.
                     memo_frac = outcome.memo_frac
-                    epi = (memo_frac * em.EPI_PJ["oino"]
-                           + (1 - memo_frac) * em.EPI_PJ["ino"])
-                    leak = em.leakage["ino"] + em.leakage["oino_extra"] + \
-                        em.leakage["sc"]
+                    epi = (memo_frac * epi_oino
+                           + (1 - memo_frac) * epi_ino)
                     charged = (leak + epi * outcome.ipc) * cycles
                 else:
                     charged = em.interval_energy(

@@ -22,7 +22,8 @@ from pathlib import Path
 from types import ModuleType
 from typing import Any, Mapping
 
-from repro.runner import ResultCache, SweepRunner
+from repro.config import CacheConfig
+from repro.runner import SweepRunner
 from repro.telemetry import JSONLSink, Telemetry
 
 #: The single source of truth for what ``--quick`` means per driver:
@@ -62,8 +63,13 @@ class ExperimentParams:
             driver sweeps mixes (ignored elsewhere).
         seed: mix-selection seed, where the driver takes one.
         jobs: worker processes for sweep drivers; 1 = serial.
-        use_cache: consult/populate the on-disk result cache.
-        cache_dir: cache location (default ``~/.cache/mirage``).
+        use_cache: consult/populate the on-disk result cache
+            (superseded by *cache* when that is set).
+        cache_dir: cache location (default ``~/.cache/mirage``;
+            superseded by *cache* when that is set).
+        cache: a :class:`~repro.config.CacheConfig` describing every
+            cache layer in one place — the CLI builds one; when set it
+            wins over the legacy ``use_cache``/``cache_dir`` pair.
         trace: JSONL file the run's telemetry trace is appended to;
             runner-based drivers trace through the sweep runner,
             telemetry-aware drivers get a :class:`Telemetry` hub with
@@ -76,11 +82,21 @@ class ExperimentParams:
     jobs: int = 1
     use_cache: bool = False
     cache_dir: str | Path | None = None
+    cache: "CacheConfig | None" = None
     trace: str | Path | None = None
 
+    def cache_config(self) -> "CacheConfig":
+        """The effective cache configuration (legacy fields folded
+        in when no explicit :class:`CacheConfig` was provided)."""
+        if self.cache is not None:
+            return self.cache
+        return CacheConfig(cache_dir=self.cache_dir,
+                           use_result_cache=self.use_cache)
+
     def make_runner(self, experiment: str) -> SweepRunner:
-        cache = ResultCache(self.cache_dir) if self.use_cache else None
-        return SweepRunner(jobs=self.jobs, cache=cache,
+        """A SweepRunner wired to these params' jobs/cache/trace."""
+        return SweepRunner(jobs=self.jobs,
+                           cache=self.cache_config().result_cache(),
                            experiment=experiment, trace=self.trace)
 
 

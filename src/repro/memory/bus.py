@@ -66,13 +66,15 @@ class SharedBus:
         """
         if num_bytes <= 0:
             return now, now
-        start = max(now, self._free_at)
-        duration = self.beats_for(num_bytes) * self.cycles_per_beat
+        free_at = self._free_at
+        start = now if now >= free_at else free_at
+        duration = -(-num_bytes // self.width_bytes) * self.cycles_per_beat
         finish = start + duration
-        self.stats.transfers += 1
-        self.stats.bytes_moved += num_bytes
-        self.stats.busy_cycles += duration
-        self.stats.contention_cycles += start - now
+        stats = self.stats
+        stats.transfers += 1
+        stats.bytes_moved += num_bytes
+        stats.busy_cycles += duration
+        stats.contention_cycles += start - now
         self._free_at = finish
         return start, finish
 

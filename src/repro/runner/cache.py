@@ -29,23 +29,15 @@ from typing import Any
 import repro
 from repro import simcache
 from repro.cmp.system import CMPResult
+# Canonical home is repro.config (the slice store roots there too);
+# re-exported here because this was its historical address.
+from repro.config import default_cache_dir  # noqa: F401
 from repro.engine.backends import ENGINE_CACHE_TAG
 from repro.runner.units import WorkUnit
 from repro.telemetry.events import IntervalRecord
 
 #: Sentinel distinguishing "not cached" from a legitimately-None payload.
 MISS = object()
-
-
-def default_cache_dir() -> Path:
-    """``$MIRAGE_CACHE_DIR``, else ``$XDG_CACHE_HOME/mirage``, else
-    ``~/.cache/mirage``."""
-    env = os.environ.get("MIRAGE_CACHE_DIR")
-    if env:
-        return Path(env)
-    xdg = os.environ.get("XDG_CACHE_HOME")
-    base = Path(xdg) if xdg else Path.home() / ".cache"
-    return base / "mirage"
 
 
 def encode_payload(value: Any) -> dict:
@@ -85,6 +77,7 @@ class ResultCache:
 
     # -- keying --------------------------------------------------------
     def key_material(self, experiment: str, unit: WorkUnit) -> str:
+        """The canonical JSON string the cache key digests."""
         return json.dumps(
             {
                 "backend": self.backend,
@@ -97,6 +90,7 @@ class ResultCache:
         )
 
     def path_for(self, experiment: str, unit: WorkUnit) -> Path:
+        """The entry file a unit's result lives at (digest-named)."""
         digest = hashlib.sha256(
             self.key_material(experiment, unit).encode()).hexdigest()
         return (self.root / f"v{self.version}" / (experiment or "adhoc")
@@ -120,6 +114,7 @@ class ResultCache:
             return MISS
 
     def put(self, experiment: str, unit: WorkUnit, payload: Any) -> Path:
+        """Atomically publish a unit's payload; returns its path."""
         path = self.path_for(experiment, unit)
         path.parent.mkdir(parents=True, exist_ok=True)
         entry = {

@@ -58,6 +58,8 @@ class Telemetry:
     def wants(self, kind: str) -> bool:
         """True if any sink subscribed to *kind* — emitters check this
         before building a record, so unobserved kinds cost nothing."""
+        if not self.sinks:      # the common uninstrumented case
+            return False
         return any(sink.wants(kind) for sink in self.sinks)
 
     def emit(self, event: TelemetryEvent) -> None:

@@ -1,0 +1,88 @@
+"""The stable facade (repro.api) and the one-dataclass cache config.
+
+``repro.api`` is the supported import surface: every ``__all__`` name
+must resolve, and :func:`repro.api.run_experiment` must behave like
+the CLI.  :class:`repro.config.CacheConfig` collapses the result
+cache, the slice memo, and its disk store into one object — the tests
+pin that applying it reaches the process-wide switches and that the
+legacy ``use_cache``/``cache_dir`` fields still work.
+"""
+
+import os
+
+import pytest
+
+from repro import api, simcache
+from repro.config import CacheConfig, default_cache_dir
+from repro.experiments import ExperimentParams
+
+
+@pytest.fixture(autouse=True)
+def _isolate_cache_switches(monkeypatch):
+    """Keep process-wide cache switches out of the other tests."""
+    monkeypatch.delenv("MIRAGE_CACHE_DIR", raising=False)
+    monkeypatch.delenv(simcache.ENV_VAR, raising=False)
+    monkeypatch.delenv(simcache.DISK_ENV_VAR, raising=False)
+    monkeypatch.setattr(simcache, "_enabled", None)
+    monkeypatch.setattr(simcache, "_disk_enabled", None)
+
+
+class TestFacade:
+    def test_every_export_resolves(self):
+        for name in api.__all__:
+            assert hasattr(api, name), name
+
+    def test_run_experiment_matches_cli_driver(self):
+        result = api.run_experiment("fig6", quick=True)
+        assert isinstance(result, dict) and result
+
+    def test_run_experiment_rejects_unknown_names(self):
+        with pytest.raises(KeyError, match="fig99"):
+            api.run_experiment("fig99")
+
+    def test_run_experiment_threads_cache_config(self, tmp_path):
+        cache = CacheConfig(cache_dir=tmp_path / "cache",
+                            use_result_cache=True)
+        api.run_experiment("fig12", cache=cache)
+        assert any((tmp_path / "cache").rglob("*.json"))
+
+    def test_run_experiment_forwards_overrides(self):
+        result = api.run_experiment("fig7", quick=True, n_mixes=2)
+        assert result["rows"]
+
+
+class TestCacheConfig:
+    def test_defaults_change_nothing(self):
+        before = (simcache.enabled(), simcache.disk_enabled())
+        CacheConfig().apply()
+        assert (simcache.enabled(), simcache.disk_enabled()) == before
+
+    def test_apply_reaches_every_switch(self, tmp_path):
+        CacheConfig(cache_dir=tmp_path, sim_cache=False,
+                    sim_cache_disk=True).apply()
+        assert os.environ["MIRAGE_CACHE_DIR"] == str(tmp_path)
+        assert default_cache_dir() == tmp_path
+        assert simcache.enabled() is False
+        assert simcache.disk_enabled() is True
+
+    def test_from_env_materializes_the_environment(self, monkeypatch):
+        monkeypatch.setenv(simcache.ENV_VAR, "0")
+        monkeypatch.setenv(simcache.DISK_ENV_VAR, "1")
+        cfg = CacheConfig.from_env()
+        assert cfg.sim_cache is False
+        assert cfg.sim_cache_disk is True
+
+    def test_result_cache_off_means_none(self, tmp_path):
+        assert CacheConfig(use_result_cache=False).result_cache() is None
+        cache = CacheConfig(cache_dir=tmp_path).result_cache()
+        assert cache is not None
+        assert cache.root == tmp_path
+
+    def test_experiment_params_fold_legacy_fields(self, tmp_path):
+        legacy = ExperimentParams(use_cache=True, cache_dir=tmp_path)
+        cfg = legacy.cache_config()
+        assert cfg.use_result_cache is True
+        assert cfg.cache_dir == tmp_path
+        explicit = ExperimentParams(
+            use_cache=False, cache=CacheConfig(use_result_cache=True))
+        assert explicit.cache_config().use_result_cache is True

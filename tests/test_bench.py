@@ -188,6 +188,16 @@ class TestCompare:
         assert comparison.only_new == ["fresh"]
         assert "gone" in comparison.summary()
 
+    def test_summary_sorts_worst_regression_first(self):
+        # Report order is registration order; the summary table must
+        # lead with the biggest slowdown so CI logs surface it.
+        old = make_report("old", {"a": 1.0, "b": 1.0, "c": 1.0})
+        new = make_report("new", {"a": 1.1, "b": 2.0, "c": 0.5})
+        summary = compare_reports(old, new).summary()
+        rows = [line.split()[0] for line in summary.splitlines()
+                if line.split() and line.split()[0] in ("a", "b", "c")]
+        assert rows == ["b", "a", "c"]
+
     def test_speedup_and_ratio_are_reciprocal(self):
         old = make_report("old", {"a": 2.0})
         new = make_report("new", {"a": 1.0})

@@ -28,6 +28,9 @@ DOCUMENTED_SURFACES = [
     "repro.engine.backends",
     "repro.engine.phases",
     "repro.telemetry.events",
+    "repro.api",
+    "repro.config",
+    "repro.cmp.sharded",
 ]
 
 

@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.cmp.system import IntervalSample
 from repro.engine import (
     AnalyticBackend,
     ArbitrationPhase,
@@ -34,7 +33,10 @@ class TestPipelineAssembly:
                            [ExecutionPhase(), ExecutionPhase()])
 
     def test_interval_sample_alias(self):
-        # The old history row type is the telemetry record now.
+        # The old history row type is the telemetry record now; the
+        # deep-import spelling still resolves, but deprecated.
+        with pytest.warns(DeprecationWarning, match="IntervalSample"):
+            from repro.cmp.system import IntervalSample
         assert IntervalSample is IntervalRecord
 
 

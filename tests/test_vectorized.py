@@ -1,0 +1,114 @@
+"""Randomized scalar-vs-vectorized equivalence for the analytic tier.
+
+The vectorized ``advance_all`` kernel in
+:class:`~repro.engine.backends.AnalyticBackend` must be *bit-identical*
+to the fused scalar kernel (and both to the reference per-app
+``advance``): every experiment table is required to be byte-identical
+whichever kernel runs.  These tests drive whole CMP simulations over
+randomized mixes, widths, producer counts and arbitrators with the
+kernel forced each way, and compare every float of the results
+exactly — no tolerances.
+"""
+
+import dataclasses
+import random
+
+import pytest
+
+from repro.arbiter import (
+    FairArbitrator,
+    MaxSTPArbitrator,
+    SCMPKIArbitrator,
+)
+from repro.characterize import analytic_model
+from repro.cmp import ClusterConfig
+from repro.cmp.system import CMPSystem
+from repro.engine.backends import VECTOR_ENV, VECTOR_MIN_APPS
+from repro.workloads import ALL_BENCHMARKS
+
+
+def run_once(names, *, vectorize, arbitrator=SCMPKIArbitrator,
+             n_producers=1, max_intervals=200):
+    models = [analytic_model(name) for name in names]
+    config = ClusterConfig(n_consumers=len(names),
+                           n_producers=n_producers, mirage=True)
+    system = CMPSystem(config, models, arbitrator(),
+                       vectorize=vectorize)
+    return system.run(max_intervals=max_intervals)
+
+
+def exact(result):
+    """Every field of a CMPResult, for exact (bitwise float) compare."""
+    d = dataclasses.asdict(result)
+    d.pop("history", None)
+    return d
+
+
+class TestRandomizedEquivalence:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_random_mix_bit_identical(self, seed):
+        rng = random.Random(seed)
+        width = rng.randint(2, 12)
+        names = rng.choices(ALL_BENCHMARKS, k=width)
+        n_producers = rng.randint(1, min(3, width))
+        arbitrator = rng.choice(
+            [SCMPKIArbitrator, MaxSTPArbitrator, FairArbitrator])
+        scalar = run_once(names, vectorize=False,
+                          arbitrator=arbitrator, n_producers=n_producers)
+        vector = run_once(names, vectorize=True,
+                          arbitrator=arbitrator, n_producers=n_producers)
+        assert exact(scalar) == exact(vector)
+
+    def test_wide_cluster_bit_identical(self):
+        # Past the auto-vectorize threshold, where the numpy path is
+        # the production default.
+        names = [ALL_BENCHMARKS[i % len(ALL_BENCHMARKS)]
+                 for i in range(VECTOR_MIN_APPS + 4)]
+        scalar = run_once(names, vectorize=False, n_producers=4,
+                          max_intervals=120)
+        vector = run_once(names, vectorize=True, n_producers=4,
+                          max_intervals=120)
+        assert exact(scalar) == exact(vector)
+
+    def test_run_to_completion_bit_identical(self):
+        # No interval cap: completions, restarts, and the energy
+        # stop-billing edge all behave identically.
+        names = ["bzip2", "astar", "hmmer", "namd"]
+        scalar = run_once(names, vectorize=False, max_intervals=50_000)
+        vector = run_once(names, vectorize=True, max_intervals=50_000)
+        assert exact(scalar) == exact(vector)
+
+
+class TestKernelSelection:
+    def _backend(self, n_apps, vectorize=None):
+        from repro.arbiter import SCMPKIArbitrator
+
+        names = [ALL_BENCHMARKS[i % len(ALL_BENCHMARKS)]
+                 for i in range(n_apps)]
+        models = [analytic_model(name) for name in names]
+        config = ClusterConfig(n_consumers=n_apps, n_producers=1,
+                               mirage=True)
+        system = CMPSystem(config, models, SCMPKIArbitrator(),
+                           vectorize=vectorize)
+        system.run(max_intervals=1)
+        return system.engine.backend
+
+    def test_auto_narrow_is_scalar(self, monkeypatch):
+        monkeypatch.delenv(VECTOR_ENV, raising=False)
+        assert self._backend(4)._vec is None
+
+    def test_auto_wide_is_vectorized(self, monkeypatch):
+        monkeypatch.delenv(VECTOR_ENV, raising=False)
+        assert self._backend(VECTOR_MIN_APPS)._vec is not None
+
+    def test_env_overrides_width(self, monkeypatch):
+        monkeypatch.setenv(VECTOR_ENV, "1")
+        assert self._backend(2)._vec is not None
+        monkeypatch.setenv(VECTOR_ENV, "0")
+        assert self._backend(VECTOR_MIN_APPS)._vec is None
+
+    def test_ctor_overrides_env(self, monkeypatch):
+        monkeypatch.setenv(VECTOR_ENV, "0")
+        assert self._backend(2, vectorize=True)._vec is not None
+        monkeypatch.setenv(VECTOR_ENV, "1")
+        assert self._backend(2, vectorize=False)._vec is None
