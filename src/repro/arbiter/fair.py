@@ -5,33 +5,81 @@ from __future__ import annotations
 from repro.arbiter.base import AppView, Arbitrator
 
 
+class _RotationCursor:
+    """A round-robin cursor that survives population changes.
+
+    For a fixed population this is exactly the historical integer
+    cursor — same arithmetic, same state, bit-identical picks.  When
+    a lifecycle phase admits or retires applications between picks
+    (the view list's names change), :meth:`align` re-anchors the
+    cursor by *name*: it lands on the first still-present application
+    at or after the old cursor position, so nobody's turn is skipped
+    or double-served just because indices shifted underneath.
+    """
+
+    __slots__ = ("index", "names")
+
+    def __init__(self) -> None:
+        self.index = 0
+        self.names: tuple[str, ...] | None = None
+
+    def reset(self) -> None:
+        """Rewind to application 0 and forget the last membership."""
+        self.index = 0
+        self.names = None
+
+    def align(self, views: list[AppView]) -> None:
+        """Re-anchor the cursor if the population changed since the
+        last pick; a no-op (same arithmetic as before the cursor
+        learned names) while membership is stable."""
+        old = self.names
+        names = tuple(v.name for v in views)
+        if old is not None and names != old and old:
+            n_old = len(old)
+            for k in range(n_old):
+                candidate = old[(self.index + k) % n_old]
+                try:
+                    self.index = names.index(candidate)
+                    break
+                except ValueError:
+                    continue
+            else:
+                self.index = 0
+        self.names = names
+
+
 class FairArbitrator(Arbitrator):
     """Strict round-robin: every application gets an equal OoO share.
 
     Models the fair scheduler on a traditional Het-CMP: the OoO is
     always busy and applications migrate at every interval boundary,
     which is exactly the energy/overhead problem Figure 13 shows.
+    Handles a variable population: the rotation re-anchors by
+    application name when a scenario's lifecycle events shift view
+    indices (see :class:`_RotationCursor`).
     """
 
     name = "Fair"
 
     def __init__(self) -> None:
-        self._cursor = 0
+        self._cursor = _RotationCursor()
 
     def pick(self, views: list[AppView], *, interval_index: int,
              slots: int = 1) -> list[int]:
         """The next *slots* applications in round-robin order."""
         if not views:
             return []
+        cursor = self._cursor
+        cursor.align(views)
         picked = []
         for k in range(min(slots, len(views))):
-            picked.append(views[(self._cursor + k) % len(views)].index)
-        self._cursor = (self._cursor + len(picked)) % len(views)
+            picked.append(views[(cursor.index + k) % len(views)].index)
+        cursor.index = (cursor.index + len(picked)) % len(views)
         return picked
 
     def reset(self) -> None:
         """Rewind the round-robin cursor to application 0."""
-        self._cursor = 0
+        self._cursor.reset()
 
 
 class SCMPKIFairArbitrator(Arbitrator):
@@ -41,24 +89,27 @@ class SCMPKIFairArbitrator(Arbitrator):
     application's OoO share (Equation 3).  The next application in
     round-robin order is only migrated if it is *behind* its fair share
     or its Schedule Cache has gone stale; otherwise the OoO is powered
-    down for the interval — fairness with energy savings.
+    down for the interval — fairness with energy savings.  Like
+    :class:`FairArbitrator`, the rotation survives mid-run population
+    changes by re-anchoring on application names.
     """
 
     name = "SC-MPKI-fair"
 
     def __init__(self, *, threshold: float = 1.0):
         self.threshold = threshold
-        self._cursor = 0
+        self._cursor = _RotationCursor()
 
     def pick(self, views: list[AppView], *, interval_index: int,
              slots: int = 1) -> list[int]:
         """Round-robin scan, migrating only behind-share/stale apps."""
         if not views:
             return []
+        self._cursor.align(views)
         fair_share = 1.0 / len(views)
         picked: list[int] = []
         scanned = 0
-        cursor = self._cursor
+        cursor = self._cursor.index
         while scanned < len(views) and len(picked) < slots:
             view = views[cursor % len(views)]
             cursor += 1
@@ -69,9 +120,9 @@ class SCMPKIFairArbitrator(Arbitrator):
                 picked.append(view.index)
         # Advance past everything we scanned so skipped apps are not
         # re-examined first next time (their turn passed).
-        self._cursor = cursor % len(views)
+        self._cursor.index = cursor % len(views)
         return picked
 
     def reset(self) -> None:
         """Rewind the round-robin cursor to application 0."""
-        self._cursor = 0
+        self._cursor.reset()

@@ -1,20 +1,51 @@
-"""Regression comparison between two bench reports.
+"""Noise-aware regression comparison between two bench reports.
 
 ``mirage bench --compare OLD NEW`` diffs two ``BENCH_*.json`` files
-benchmark by benchmark on their *best* wall samples: a slowdown beyond
-the threshold is a regression (non-zero exit unless warn-only), a
-symmetric speedup is reported as an improvement, and benchmarks present
-on only one side are listed rather than silently dropped.  This is the
-gate CI runs against the committed baseline, and the evidence format
-perf PRs quote (see ``docs/performance.md`` for the baseline rules).
+benchmark by benchmark on their wall-sample *distributions*: the
+headline ratio is mean-vs-mean, and a slowdown only counts as a
+regression when it clears both the relative threshold and a noise
+floor of :data:`NOISE_SIGMAS` pooled standard deviations — one lucky
+or unlucky sample on a shared CI box no longer flips the verdict.
+Reports recorded with ``repeats=1`` carry a single sample (zero
+spread), so the comparison degenerates to the historical pure
+threshold on their means.  Symmetric speedups are reported as
+improvements, and benchmarks present on only one side are listed
+rather than silently dropped.  This is the gate CI runs against the
+committed baseline, and the evidence format perf PRs quote (see
+``docs/performance.md`` for the baseline rules).
 """
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
+from typing import Sequence
 
 #: Default tolerated slowdown before a benchmark counts as regressed.
 DEFAULT_THRESHOLD = 0.20
+
+#: How many pooled standard deviations a mean shift must exceed before
+#: it is believed: 2 sigma keeps the false-positive rate of a noisy
+#: shared runner low without hiding real multi-sample regressions.
+NOISE_SIGMAS = 2.0
+
+
+def _mean(samples: Sequence[float]) -> float:
+    return sum(samples) / len(samples) if samples else 0.0
+
+
+def _std(samples: Sequence[float]) -> float:
+    """Population standard deviation (0.0 for a single sample)."""
+    if len(samples) < 2:
+        return 0.0
+    mean = _mean(samples)
+    return math.sqrt(_mean([(s - mean) ** 2 for s in samples]))
+
+
+def _samples(entry: dict) -> list[float]:
+    """An entry's wall samples; pre-noise reports carry only best."""
+    samples = entry.get("wall_seconds") or [entry["best"]]
+    return [float(s) for s in samples]
 
 
 @dataclass(frozen=True)
@@ -25,27 +56,44 @@ class BenchDelta:
     tier: str
     old_best: float
     new_best: float
+    old_mean: float
+    new_mean: float
+    old_std: float
+    new_std: float
     threshold: float
 
     @property
     def ratio(self) -> float:
-        """``new / old`` wall time; > 1 means the new side is slower."""
-        return self.new_best / max(1e-12, self.old_best)
+        """``new / old`` mean wall time; > 1 means new is slower."""
+        return self.new_mean / max(1e-12, self.old_mean)
 
     @property
     def speedup(self) -> float:
-        """``old / new`` wall time; > 1 means the new side is faster."""
-        return self.old_best / max(1e-12, self.new_best)
+        """``old / new`` mean wall time; > 1 means new is faster."""
+        return self.old_mean / max(1e-12, self.new_mean)
+
+    @property
+    def noise_floor(self) -> float:
+        """The mean shift (seconds) explainable by sample noise.
+
+        :data:`NOISE_SIGMAS` times the pooled standard deviation of
+        the two sides; 0.0 when both reports carry single samples, so
+        single-sample comparisons reduce to the pure threshold.
+        """
+        return NOISE_SIGMAS * math.sqrt(
+            self.old_std ** 2 + self.new_std ** 2)
 
     @property
     def regressed(self) -> bool:
-        """True when new is slower than old beyond the threshold."""
-        return self.ratio > 1.0 + self.threshold
+        """Slower beyond the threshold *and* beyond sample noise."""
+        return (self.ratio > 1.0 + self.threshold
+                and self.new_mean - self.old_mean > self.noise_floor)
 
     @property
     def improved(self) -> bool:
-        """True when new is faster than old beyond the threshold."""
-        return self.speedup > 1.0 + self.threshold
+        """Faster beyond the threshold *and* beyond sample noise."""
+        return (self.speedup > 1.0 + self.threshold
+                and self.old_mean - self.new_mean > self.noise_floor)
 
 
 @dataclass
@@ -78,7 +126,8 @@ class Comparison:
         """The ``mirage bench --compare`` report text."""
         lines = [
             f"comparing {self.old_label!r} -> {self.new_label!r} "
-            f"(threshold {self.threshold:.0%} slowdown)",
+            f"(threshold {self.threshold:.0%} slowdown beyond "
+            f"{NOISE_SIGMAS:g} sigma noise)",
         ]
         if not self.deltas:
             lines.append("no benchmarks in common")
@@ -91,8 +140,10 @@ class Comparison:
                 verdict = ("REGRESSED" if d.regressed
                            else "improved" if d.improved else "ok")
                 lines.append(
-                    f"{d.name:<{width}}  {d.old_best:8.4f}s -> "
-                    f"{d.new_best:8.4f}s  x{d.speedup:5.2f}  {verdict}")
+                    f"{d.name:<{width}}  "
+                    f"{d.old_mean:8.4f}s±{d.old_std:.4f} -> "
+                    f"{d.new_mean:8.4f}s±{d.new_std:.4f}  "
+                    f"x{d.speedup:5.2f}  {verdict}")
         for name in self.only_old:
             lines.append(f"{name}: only in {self.old_label!r} (removed?)")
         for name in self.only_new:
@@ -113,8 +164,10 @@ def compare_reports(old: dict, new: dict, *,
     Args:
         old: the reference report (committed baseline, usually).
         new: the candidate report.
-        threshold: tolerated fractional slowdown, e.g. ``0.2`` flags
-            anything more than 20 % slower than *old*.
+        threshold: tolerated fractional slowdown of the mean, e.g.
+            ``0.2`` flags anything more than 20 % slower than *old* —
+            provided the shift also exceeds the reports'
+            :data:`NOISE_SIGMAS`-sigma noise floor.
 
     Returns:
         A :class:`Comparison`; callers decide whether ``not ok`` is
@@ -124,16 +177,23 @@ def compare_reports(old: dict, new: dict, *,
         raise ValueError("threshold must be >= 0")
     old_rows = old.get("benchmarks", {})
     new_rows = new.get("benchmarks", {})
-    deltas = [
-        BenchDelta(
+    deltas = []
+    for name in old_rows:
+        if name not in new_rows:
+            continue
+        old_samples = _samples(old_rows[name])
+        new_samples = _samples(new_rows[name])
+        deltas.append(BenchDelta(
             name=name,
             tier=new_rows[name].get("tier", "unknown"),
             old_best=old_rows[name]["best"],
             new_best=new_rows[name]["best"],
+            old_mean=_mean(old_samples),
+            new_mean=_mean(new_samples),
+            old_std=_std(old_samples),
+            new_std=_std(new_samples),
             threshold=threshold,
-        )
-        for name in old_rows if name in new_rows
-    ]
+        ))
     return Comparison(
         old_label=old.get("label", "old"),
         new_label=new.get("label", "new"),

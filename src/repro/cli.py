@@ -48,7 +48,8 @@ def _print_listing() -> None:
 
 
 #: ``mirage trace --kind`` choices: the record kinds with a table view.
-TRACE_KINDS = ("interval", "migration", "arbitration", "energy", "run")
+TRACE_KINDS = ("interval", "migration", "arbitration", "energy",
+               "lifecycle", "run")
 
 
 def _trace_table(events: list, kind: str, app: str | None,
@@ -92,7 +93,47 @@ def _trace_table(events: list, kind: str, app: str | None,
             ["interval", "app", "core", "energy_pj"],
             [[e.interval, e.app, e.core, e.energy_pj] for e in shown],
         ))
+    elif kind == "lifecycle":
+        print(format_table(
+            ["interval", "app", "event", "benchmark", "cluster",
+             "resident", "residency"],
+            [[e.interval, e.app, e.event, e.benchmark, e.cluster,
+              e.resident, e.residency_intervals] for e in shown],
+        ))
     return len(rows)
+
+
+def _residency_summary(events: list, app: str | None) -> None:
+    """Per-app arrival/departure/residency from lifecycle records."""
+    from repro.experiments.common import format_table
+
+    apps: dict[str, dict] = {}
+    for e in events:
+        if e.kind != "lifecycle" or (app is not None and e.app != app):
+            continue
+        row = apps.setdefault(
+            e.app, {"arrived": None, "departed": None,
+                    "residency": None, "completions": 0})
+        if e.event == "arrive":
+            row["arrived"] = e.interval
+        else:
+            row["departed"] = e.interval
+            row["residency"] = e.residency_intervals
+            row["completions"] = e.completions
+    if not apps:
+        return
+    print(f"\nper-app residency ({len(apps)} apps)")
+    print(format_table(
+        ["app", "arrived", "departed", "residency", "completions"],
+        [
+            [name,
+             "?" if row["arrived"] is None else row["arrived"],
+             "-" if row["departed"] is None else row["departed"],
+             "-" if row["residency"] is None else row["residency"],
+             row["completions"]]
+            for name, row in sorted(apps.items())
+        ],
+    ))
 
 
 def _trace_command(path: str, *, app: str | None, limit: int,
@@ -152,6 +193,8 @@ def _trace_command(path: str, *, app: str | None, limit: int,
         if kind is not None and table_kind != kind:
             continue
         shown_any += _trace_table(events, table_kind, app, limit)
+    if kind == "lifecycle":
+        _residency_summary(events, app)
     if not shown_any and (app is not None or kind not in (None, "run")):
         desc = kind or "interval"
         print(f"\nno {desc} records"
@@ -317,6 +360,21 @@ def main(argv: list[str] | None = None) -> int:
              f"({', '.join(TRACE_KINDS)})",
     )
     parser.add_argument(
+        "--shape", metavar="SHAPE",
+        help="with 'mirage scenario': traffic shape "
+             "(steady, bursty, diurnal, mixed)",
+    )
+    parser.add_argument(
+        "--clusters", type=int, metavar="N",
+        help="with 'mirage scenario': number of Mirage clusters "
+             "behind the global scheduler",
+    )
+    parser.add_argument(
+        "--policy", metavar="NAME",
+        help="with 'mirage scenario': compare only this placement "
+             "policy (round-robin, least-loaded, sc-mpki)",
+    )
+    parser.add_argument(
         "--sim-cache", dest="sim_cache", action="store_true",
         default=None,
         help="memoize detailed-tier slices in the process-wide "
@@ -372,6 +430,30 @@ def main(argv: list[str] | None = None) -> int:
     if args.jobs < 1:
         parser.error("--jobs must be >= 1")
 
+    scenario_overrides = {}
+    if (args.shape is not None or args.clusters is not None
+            or args.policy is not None):
+        if args.experiment != "scenario":
+            parser.error("--shape/--clusters/--policy only make sense "
+                         "with 'mirage scenario'")
+        from repro.cluster.scheduler import POLICIES
+        from repro.workloads.scenario import SHAPES
+
+        if args.shape is not None:
+            if args.shape not in SHAPES:
+                parser.error(f"unknown shape {args.shape!r} — choose "
+                             f"from: {', '.join(SHAPES)}")
+            scenario_overrides["shape"] = args.shape
+        if args.clusters is not None:
+            if args.clusters < 1:
+                parser.error("--clusters must be >= 1")
+            scenario_overrides["n_clusters"] = args.clusters
+        if args.policy is not None:
+            if args.policy not in POLICIES:
+                parser.error(f"unknown policy {args.policy!r} — choose "
+                             f"from: {', '.join(POLICIES)}")
+            scenario_overrides["policies"] = (args.policy,)
+
     if args.trace:
         # One file per invocation: truncate now, every experiment run
         # below appends to it in order.
@@ -394,7 +476,8 @@ def main(argv: list[str] | None = None) -> int:
         )
         print(f"=== {name} ===")
         start = time.time()
-        result = exp.run(params)
+        overrides = scenario_overrides if name == "scenario" else {}
+        result = exp.run(params, **overrides)
         exp.print_table(result)
         if args.export:
             from repro.report import to_json

@@ -1,0 +1,237 @@
+"""The global scheduler: placing arrivals across Mirage clusters.
+
+One Mirage cluster serves at most ``n_consumers`` applications; a
+datacenter-scale deployment is N such clusters behind a global
+admission scheduler.  :func:`place_scenario` walks a
+:class:`~repro.workloads.scenario.Scenario`'s arrivals in time order
+and assigns each to a cluster under a :class:`PlacementPolicy`:
+
+* ``"round-robin"``  — cyclic over clusters with free capacity;
+* ``"least-loaded"`` — the cluster with the fewest residents at the
+  admission instant;
+* ``"sc-mpki"``      — balance *OoO pressure* instead of headcount:
+  each benchmark's static pressure is how much it loses on an InO
+  core (``1 - IPC_InO/IPC_OoO``, from the same per-benchmark phase
+  models the arbitrators use), and the arrival goes to the cluster
+  whose resident pressure is lowest — an SC-MPKI-aware scheduler
+  keeps the OoO-hungry (HPD, poorly-memoizable) tenants apart so no
+  single producer core is oversubscribed with them.
+
+Placement is *capacity-aware queueing*: when every cluster is full at
+the requested instant the arrival is delayed until a scheduled
+departure frees a slot (``AppArrival.queued`` records the wait), and
+arrivals that never fit within the horizon are rejected.  The whole
+pass is a pure function of the schedule — per-cluster populations are
+derived from the already-placed arrive/depart times, never from
+simulation outcomes — so the resulting sub-scenarios are independent
+and the per-cluster simulations parallelize and cache cleanly.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+
+from repro.workloads.scenario import AppArrival, Scenario
+
+
+def benchmark_pressure(benchmark: str) -> float:
+    """Static OoO pressure of one benchmark, in [0, 1).
+
+    How much of its alone-on-OoO throughput the benchmark loses on an
+    InO core (``1 - IPC_InO/IPC_OoO`` over the phase model's means):
+    ~0 for LPD applications that barely need the producer, large for
+    HPD ones that starve without it.
+    """
+    # Imported here: repro.runner.units imports the cmp/arbiter stack;
+    # keeping it lazy lets repro.cluster.scheduler import standalone.
+    from repro.runner.units import app_model
+
+    model = app_model(benchmark)
+    ooo = max(1e-9, model.mean_ipc_ooo)
+    return max(0.0, 1.0 - model.mean_ipc_ino / ooo)
+
+
+@dataclass(slots=True)
+class ClusterLoad:
+    """One cluster's load as the scheduler sees it at one instant."""
+
+    index: int
+    resident: int       #: applications resident at the instant
+    pressure: float     #: summed benchmark_pressure of the residents
+    placed: int         #: applications ever placed on this cluster
+
+
+class PlacementPolicy(ABC):
+    """Picks the cluster an arriving application is admitted to."""
+
+    #: Registry/CLI name of the policy.
+    name: str = "policy"
+
+    @abstractmethod
+    def choose(self, arrival: AppArrival, candidates: list[int],
+               loads: list[ClusterLoad]) -> int:
+        """The chosen cluster index.
+
+        *candidates* are the clusters with free capacity at the
+        admission instant (never empty), *loads* describes every
+        cluster; implementations must be deterministic.
+        """
+
+
+class RoundRobinPolicy(PlacementPolicy):
+    """Cyclic placement over the clusters with free capacity."""
+
+    name = "round-robin"
+
+    def __init__(self) -> None:
+        self._cursor = 0
+
+    def choose(self, arrival: AppArrival, candidates: list[int],
+               loads: list[ClusterLoad]) -> int:
+        """The next candidate at or after the rotating cursor."""
+        n = len(loads)
+        for k in range(n):
+            c = (self._cursor + k) % n
+            if c in candidates:
+                self._cursor = (c + 1) % n
+                return c
+        raise RuntimeError("choose() called with no candidates")
+
+
+class LeastLoadedPolicy(PlacementPolicy):
+    """The cluster with the fewest residents (ties: lowest index)."""
+
+    name = "least-loaded"
+
+    def choose(self, arrival: AppArrival, candidates: list[int],
+               loads: list[ClusterLoad]) -> int:
+        """The emptiest candidate cluster."""
+        return min(candidates,
+                   key=lambda c: (loads[c].resident, c))
+
+
+class SCMPKIAwarePolicy(PlacementPolicy):
+    """Balance summed OoO pressure instead of plain headcount."""
+
+    name = "sc-mpki"
+
+    def choose(self, arrival: AppArrival, candidates: list[int],
+               loads: list[ClusterLoad]) -> int:
+        """The candidate with the least resident OoO pressure."""
+        return min(
+            candidates,
+            key=lambda c: (loads[c].pressure, loads[c].resident, c))
+
+
+#: Policy registry: CLI/driver name -> factory (fresh instance per
+#: placement pass — round-robin carries cursor state).
+POLICIES: dict[str, type[PlacementPolicy]] = {
+    policy.name: policy
+    for policy in (RoundRobinPolicy, LeastLoadedPolicy,
+                   SCMPKIAwarePolicy)
+}
+
+
+@dataclass(slots=True)
+class Placement:
+    """What one placement pass produced."""
+
+    policy: str
+    capacity: int
+    clusters: list[Scenario]        #: one sub-scenario per cluster
+    rejected: list[AppArrival]      #: never fit within the horizon
+
+    @property
+    def queued_delays(self) -> list[int]:
+        """Admission delay (intervals) of every placed application."""
+        return [a.queued for sub in self.clusters for a in sub.arrivals]
+
+
+def _resident(placed: list[AppArrival], t: int) -> list[AppArrival]:
+    return [a for a in placed
+            if a.arrive <= t and (a.depart is None or t < a.depart)]
+
+
+def place_scenario(scenario: Scenario, *, n_clusters: int,
+                   capacity: int, policy: str) -> Placement:
+    """Assign every arrival of *scenario* to one of *n_clusters*.
+
+    Arrivals are processed in schedule order; an arrival finding all
+    clusters full is retried interval by interval (departures free
+    slots — the lifecycle phase retires leavers before admitting
+    same-interval arrivals, and this model matches that order) and
+    rejected if the horizon ends first.  Delayed admissions keep
+    their service *length*: the departure slides with the arrival.
+
+    Returns a :class:`Placement` whose sub-scenarios partition the
+    admitted arrivals; each is a self-contained
+    :class:`~repro.workloads.scenario.Scenario` a single cluster can
+    simulate independently.
+    """
+    if n_clusters < 1:
+        raise ValueError("n_clusters must be >= 1")
+    if capacity < 1:
+        raise ValueError("capacity must be >= 1")
+    if policy not in POLICIES:
+        raise ValueError(
+            f"unknown placement policy {policy!r} — choose from "
+            f"{', '.join(POLICIES)}")
+    chooser = POLICIES[policy]()
+    horizon = scenario.duration or max(
+        [a.arrive for a in scenario.arrivals], default=0) + 1
+    placed: list[list[AppArrival]] = [[] for _ in range(n_clusters)]
+    pressures: dict[str, float] = {}
+    rejected: list[AppArrival] = []
+    order = sorted(
+        range(len(scenario.arrivals)),
+        key=lambda k: (scenario.arrivals[k].arrive, k))
+    for k in order:
+        arrival = scenario.arrivals[k]
+        service = (None if arrival.depart is None
+                   else arrival.depart - arrival.arrive)
+        admitted = False
+        for t in range(arrival.arrive, horizon):
+            loads = []
+            candidates = []
+            for c in range(n_clusters):
+                residents = _resident(placed[c], t)
+                pressure = 0.0
+                for r in residents:
+                    if r.benchmark not in pressures:
+                        pressures[r.benchmark] = benchmark_pressure(
+                            r.benchmark)
+                    pressure += pressures[r.benchmark]
+                loads.append(ClusterLoad(
+                    index=c, resident=len(residents),
+                    pressure=pressure, placed=len(placed[c])))
+                if len(residents) < capacity:
+                    candidates.append(c)
+            if not candidates:
+                continue
+            chosen = chooser.choose(arrival, candidates, loads)
+            placed[chosen].append(AppArrival(
+                uid=arrival.uid,
+                benchmark=arrival.benchmark,
+                arrive=t,
+                depart=None if service is None else t + service,
+                requested=(arrival.requested
+                           if arrival.requested is not None
+                           else arrival.arrive),
+            ))
+            admitted = True
+            break
+        if not admitted:
+            rejected.append(arrival)
+    clusters = [
+        Scenario(
+            name=f"{scenario.name}/c{c}",
+            shape=scenario.shape,
+            duration=scenario.duration,
+            arrivals=tuple(sub),
+            seed=scenario.seed,
+        )
+        for c, sub in enumerate(placed) if sub
+    ]
+    return Placement(policy=policy, capacity=capacity,
+                     clusters=clusters, rejected=rejected)

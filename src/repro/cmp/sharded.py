@@ -43,6 +43,33 @@ if TYPE_CHECKING:
 ENV_VAR = "MIRAGE_DETAILED_SHARD"
 
 
+def fan_out(fn, items, jobs: int | None) -> list:
+    """Map *fn* over *items* through a process pool, in input order.
+
+    The one pool idiom every sharded runner in the repo shares
+    (:class:`ShardedDetailedBackend` here, the multi-cluster scenario
+    runs in :mod:`repro.cluster`): ``jobs=None``/``<=1`` or a single
+    item runs serially in-process; otherwise a
+    :class:`~concurrent.futures.ProcessPoolExecutor` of
+    ``min(jobs, len(items))`` workers maps in input order, and pool
+    failures that predate any result (sandboxes that forbid ``fork``
+    or semaphores) degrade to the serial path.  *fn* must be
+    module-level and *items* picklable; when each call is a pure
+    function of its item, serial and pooled runs are bit-identical.
+    """
+    items = list(items)
+    if jobs is None or jobs <= 1 or len(items) <= 1:
+        return [fn(item) for item in items]
+    try:
+        with ProcessPoolExecutor(
+                max_workers=min(jobs, len(items))) as pool:
+            # pool.map preserves input order: downstream merges are
+            # deterministic no matter which worker finishes first.
+            return list(pool.map(fn, items))
+    except (OSError, PermissionError):
+        return [fn(item) for item in items]
+
+
 def shard_jobs() -> int | None:
     """The worker count ``MIRAGE_DETAILED_SHARD`` asks for, or ``None``.
 
@@ -167,13 +194,4 @@ class ShardedDetailedBackend:
     def run(self) -> "list[ShardOutcome]":
         """Every spec's outcome, in spec order."""
         jobs = self.jobs if self.jobs is not None else shard_jobs()
-        if jobs is None or jobs <= 1 or len(self.specs) <= 1:
-            return self._serial()
-        try:
-            with ProcessPoolExecutor(
-                    max_workers=min(jobs, len(self.specs))) as pool:
-                # pool.map preserves input order: the merge is
-                # deterministic no matter which worker finishes first.
-                return list(pool.map(run_cluster_spec, self.specs))
-        except (OSError, PermissionError):
-            return self._serial()
+        return fan_out(run_cluster_spec, self.specs, jobs)

@@ -77,6 +77,46 @@ class CMPResult:
         return system_throughput(self.speedups)
 
 
+def fold_result(*, config, arbitrator_name: str, ctx, apps,
+                migration: MigrationCostModel,
+                history: list[IntervalRecord]) -> CMPResult:
+    """Fold a finished engine context into a :class:`CMPResult`.
+
+    The one place run outcomes become result rows: both the
+    fixed-population :class:`CMPSystem` path and the dynamic
+    scenario path (:mod:`repro.cluster`) fold through here, so the
+    degenerate scenario is byte-identical to the classic run by
+    construction — same arithmetic, same accumulation order.
+    """
+    k = ctx.intervals
+    total_cycles = k * ctx.interval
+    budget = ctx.budget
+    speedups = []
+    for app in apps:
+        alone = budget / max(1e-9, app.model.mean_ipc_ooo)
+        took = app.first_completion_cycles or total_cycles
+        speedups.append(min(1.0, alone / max(1e-9, took)))
+    active_total = max(1, ctx.ooo_active_intervals)
+    return CMPResult(
+        config_name=config.name,
+        arbitrator_name=arbitrator_name,
+        intervals=k,
+        total_cycles=total_cycles,
+        app_names=[a.model.name for a in apps],
+        speedups=speedups,
+        energy_pj=sum(a.energy_pj for a in apps),
+        ooo_active_fraction=(
+            ctx.ooo_active_intervals / k if k and config.n_producers
+            else 0.0),
+        ooo_share_per_app=[s / active_total for s in ctx.ooo_share],
+        migrations=migration.total_migrations,
+        migration_cost_cycles=migration.cost_summary(),
+        migration_frequency=(
+            migration.total_migrations / k if k else 0.0),
+        history=history,
+    )
+
+
 class CMPSystem:
     """Interval-level simulator for one cluster and one workload mix.
 
@@ -156,39 +196,20 @@ class CMPSystem:
         """Simulate until every app completes (or *max_intervals*)."""
         cfg = self.config
         ctx = self.engine.run(max_intervals=max_intervals)
-        k = ctx.intervals
-        total_cycles = k * ctx.interval
-        budget = ctx.budget
-        speedups = []
-        for app in self.apps:
-            alone = budget / max(1e-9, app.model.mean_ipc_ooo)
-            took = app.first_completion_cycles or total_cycles
-            speedups.append(min(1.0, alone / max(1e-9, took)))
-        active_total = max(1, ctx.ooo_active_intervals)
-        result = CMPResult(
-            config_name=cfg.name,
+        result = fold_result(
+            config=cfg,
             arbitrator_name=(
                 self.arbitrator.name if self.arbitrator else "none"),
-            intervals=k,
-            total_cycles=total_cycles,
-            app_names=[a.model.name for a in self.apps],
-            speedups=speedups,
-            energy_pj=sum(a.energy_pj for a in self.apps),
-            ooo_active_fraction=(
-                ctx.ooo_active_intervals / k if k and cfg.n_producers
-                else 0.0),
-            ooo_share_per_app=[s / active_total for s in ctx.ooo_share],
-            migrations=self.migration.total_migrations,
-            migration_cost_cycles=self.migration.cost_summary(),
-            migration_frequency=(
-                self.migration.total_migrations / k if k else 0.0),
+            ctx=ctx,
+            apps=self.apps,
+            migration=self.migration,
             history=self.history,
         )
         self.telemetry.summarize_run(
             config=cfg.name,
             arbitrator=result.arbitrator_name,
-            intervals=k,
-            total_cycles=total_cycles,
+            intervals=result.intervals,
+            total_cycles=result.total_cycles,
         )
         return result
 

@@ -22,6 +22,7 @@ from repro.engine.backends import (
     ExecutionBackend,
     MigrationTicket,
 )
+from repro.engine.lifecycle import LifecyclePhase
 from repro.engine.loop import IntervalEngine
 from repro.engine.phases import (
     ArbitrationPhase,
@@ -54,6 +55,7 @@ __all__ = [
     "ExecutionBackend",
     "ExecutionPhase",
     "IntervalEngine",
+    "LifecyclePhase",
     "MigrationPhase",
     "MigrationTicket",
     "account_migration",

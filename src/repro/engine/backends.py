@@ -224,6 +224,18 @@ class ExecutionBackend(ABC):
         interval observes the edits.
         """
 
+    def repopulate(self, ctx: "EngineContext") -> None:
+        """Rebuild per-application state after a membership change.
+
+        :meth:`absorb_apps` assumes the *same* applications in the
+        same order; a lifecycle phase that admitted or retired
+        applications (``ctx.apps`` changed length or order) calls this
+        instead so shape-bound acceleration state (aux tables, vector
+        arrays, cached view batches) is rebuilt for the new
+        population.  The default re-seeds through :meth:`begin_run`.
+        """
+        self.begin_run(ctx)
+
     def finalize(self, ctx: "EngineContext") -> None:
         """Hook run once after the loop (fold substrate counters)."""
 
@@ -426,7 +438,7 @@ class _VectorState:
         np = _numpy()
         n = len(apps)
         self.n = n
-        self.names = [a.model.name for a in apps]
+        self.names = [a.uid or a.model.name for a in apps]
         sc_capacity = config.sc_capacity_bytes
         self.pass_instr = np.array(
             [float(a.model.pass_instructions) for a in apps])

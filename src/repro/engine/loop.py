@@ -52,9 +52,17 @@ class IntervalEngine:
         self.backend = backend
         self.telemetry = telemetry or Telemetry()
 
-    def run(self, *, max_intervals: int) -> EngineContext:
+    def run(self, *, max_intervals: int,
+            stop_when_complete: bool = True) -> EngineContext:
         """Drive the pipeline until every app completed its budget at
-        least once, or *max_intervals* elapse; returns the context."""
+        least once, or *max_intervals* elapse; returns the context.
+
+        ``stop_when_complete=False`` disables the completion early-out
+        and always runs the full *max_intervals*: scenario runs use it
+        because applications arrive mid-run (an interval where every
+        *current* resident has completed — or none is resident yet —
+        must not end the simulation).
+        """
         scale = self.config.scale
         ctx = EngineContext(
             config=self.config,
@@ -73,20 +81,23 @@ class IntervalEngine:
         pcalls = profiler.calls
         apps = self.apps
         phases = self.phases
-        n_apps = len(apps)
         interval = ctx.interval
         k = 0
         while k < max_intervals:
-            # for/else spelling of all(a.completions >= 1): no
-            # generator allocation on the per-interval hot path.
-            for a in apps:
-                if a.completions < 1:
+            if stop_when_complete:
+                # for/else spelling of all(a.completions >= 1): no
+                # generator allocation on the per-interval hot path.
+                for a in apps:
+                    if a.completions < 1:
+                        break
+                else:
                     break
-            else:
-                break
             ctx.index = k
             ctx.now = k * interval
             ctx.chosen = []
+            # Recomputed every interval: a lifecycle phase may have
+            # changed the population since the last pass.
+            n_apps = len(apps)
             ctx.mig_cost = [0.0] * n_apps
             ctx.outcomes = [None] * n_apps
             for phase in phases:

@@ -149,8 +149,14 @@ class ArbitrationPhase(EnginePhase):
                 )[: cfg.n_producers]
         if ctx.chosen:
             ctx.ooo_active_intervals += 1
+            apps = ctx.apps
             for i in ctx.chosen:
                 ctx.ooo_share[i] += 1
+                app = apps[i]
+                if app.first_ooo_interval is None:
+                    # First producer grant ever: the scenario metrics'
+                    # latency-to-OoO-access clock stops here.
+                    app.first_ooo_interval = ctx.index
         telemetry = ctx.telemetry
         counters = telemetry.counters
         counters["arbitration.granted"] = (
@@ -161,7 +167,7 @@ class ArbitrationPhase(EnginePhase):
         if telemetry.wants("arbitration"):
             telemetry.emit(ArbitrationRecord(
                 interval=ctx.index,
-                chosen=[ctx.apps[i].model.name for i in ctx.chosen],
+                chosen=[ctx.apps[i].display_name for i in ctx.chosen],
                 slots=cfg.n_producers,
             ))
 
@@ -187,7 +193,7 @@ class MigrationPhase(EnginePhase):
             if ticket is None:
                 continue    # substrate applies the move in advance()
             ctx.mig_cost[i] = ticket.charged
-            account_migration(ctx, app.model.name, ticket)
+            account_migration(ctx, app.uid or app.model.name, ticket)
 
 
 class ExecutionPhase(EnginePhase):
@@ -217,7 +223,7 @@ class ExecutionPhase(EnginePhase):
                 ref = outcome.sc_mpki_ref
                 ctx.telemetry.emit(IntervalRecord(
                     interval=ctx.index,
-                    app=app.model.name,
+                    app=app.display_name,
                     on_ooo=app.on_ooo,
                     ipc=outcome.ipc,
                     speedup=min(1.0, outcome.ipc
@@ -278,7 +284,7 @@ class EnergyPhase(EnginePhase):
             if wants_energy:
                 telemetry.emit(EnergyRecord(
                     interval=ctx.index,
-                    app=app.model.name,
+                    app=app.display_name,
                     core=outcome.kind,
                     energy_pj=charged,
                 ))

@@ -24,6 +24,12 @@ class AppState:
     completions: int = 0
     first_completion_cycles: float | None = None
     on_ooo: bool = False
+    # Lifecycle identity and residency (scenario runs; static runs
+    # keep the defaults and an empty uid means "use model.name").
+    uid: str = ""
+    arrived_interval: int = 0
+    depart_interval: int | None = None
+    first_ooo_interval: int | None = None
     # Schedule Cache state (Mirage consumers only).
     sc_phase_id: int | None = None
     sc_coverage: float = 0.0
@@ -39,6 +45,16 @@ class AppState:
     t_total: float = 0.0
     ooo_intervals: int = 0
     energy_pj: float = 0.0
+
+    @property
+    def display_name(self) -> str:
+        """The engine-visible application name.
+
+        The scenario uid when one was assigned (unique within a
+        dynamic run), else the model's benchmark name — so static
+        runs are byte-identical to the pre-lifecycle engine.
+        """
+        return self.uid or self.model.name
 
 
 @dataclass(slots=True)

@@ -92,7 +92,7 @@ def interval_tier_views(apps) -> list[AppView]:
     return [
         build_app_view(
             index=i,
-            name=app.model.name,
+            name=app.uid or app.model.name,
             ipc_last=app.ipc_last,
             ipc_ooo_last=app.ipc_ooo_last,
             sc_mpki_ino=app.sc_mpki_ino_last,

@@ -17,6 +17,7 @@ result caching; serial, parallel, and cached runs are bit-identical.
 
 from repro.experiments import (
     multithreaded,
+    scenario,
     software_arbiter,
     tier_validation,
     fig1_core_characteristics,
@@ -72,6 +73,8 @@ _DEFINITIONS = [
      "Section 3.2.4", software_arbiter),
     ("multithreaded", "Schedule broadcast to sibling threads",
      "Section 6", multithreaded),
+    ("scenario", "Dynamic traffic across a cluster-of-clusters",
+     "Extension", scenario),
     # Methodology: cross-check the two simulation tiers.
     ("tier-validation", "Detailed vs interval tier agreement",
      "Section 4", tier_validation),

@@ -49,6 +49,8 @@ QUICK_OVERRIDES: dict[str, dict[str, Any]] = {
     "software-arbiter": {"n_mixes": 2},
     "multithreaded": {"n_threads": 4},
     "tier-validation": {"n_slices": 10},
+    "scenario": {"n_apps": 10, "duration": 120, "n_clusters": 2,
+                 "capacity": 6},
 }
 
 

@@ -1,5 +1,11 @@
 """System-level metrics used by the arbitrators and experiments."""
 
+from repro.metrics.scenario import (
+    percentile,
+    sla_attainment,
+    spike_throughput,
+    tail_summary,
+)
 from repro.metrics.stats import (
     delta_sc_mpki,
     fairness_index,
@@ -14,4 +20,8 @@ __all__ = [
     "delta_sc_mpki",
     "util_share",
     "fairness_index",
+    "percentile",
+    "tail_summary",
+    "sla_attainment",
+    "spike_throughput",
 ]

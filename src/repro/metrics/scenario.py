@@ -1,0 +1,92 @@
+"""Scenario-level metrics: tails, SLAs, throughput under spikes.
+
+The fixed-mix experiments summarize a run by its mean (STP, energy);
+a *traffic* scenario needs distributional answers — how long did an
+arriving application wait for its first OoO grant, how many tenants
+met their service objective, what happened to throughput while the
+population spiked.  These helpers are pure functions over plain
+Python sequences so cached, serial and parallel runs reduce to
+bit-identical summaries.
+
+All percentiles use the classic linear-interpolation definition
+(numpy's default) computed in pure Python, so no numpy import is
+needed on the scenario summary path.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+#: The tail points every scenario table reports.
+TAIL_POINTS = (50.0, 95.0, 99.0)
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """The *q*-th percentile (0..100) with linear interpolation.
+
+    Matches numpy's default ("linear") definition; returns ``0.0``
+    for an empty sequence so summary tables never divide by absent
+    data.
+    """
+    if not 0.0 <= q <= 100.0:
+        raise ValueError("percentile q must be in [0, 100]")
+    data = sorted(values)
+    if not data:
+        return 0.0
+    if len(data) == 1:
+        return float(data[0])
+    rank = (q / 100.0) * (len(data) - 1)
+    lo = int(rank)
+    hi = min(lo + 1, len(data) - 1)
+    frac = rank - lo
+    return data[lo] + (data[hi] - data[lo]) * frac
+
+
+def tail_summary(values: Sequence[float],
+                 points: Sequence[float] = TAIL_POINTS) -> dict:
+    """``{"p50": ..., "p95": ..., "p99": ...}`` over *values*."""
+    return {f"p{point:g}": percentile(values, point)
+            for point in points}
+
+
+def sla_attainment(progresses: Sequence[float],
+                   target: float) -> float:
+    """The fraction of applications meeting a progress SLA.
+
+    *progresses* are normalized per-application progress rates
+    (achieved IPC over alone-on-OoO IPC, in (0, 1]); an application
+    attains the SLA when its rate is at least *target*.  Returns 1.0
+    for an empty population (no tenant was failed).
+    """
+    if not progresses:
+        return 1.0
+    met = sum(1 for p in progresses if p >= target)
+    return met / len(progresses)
+
+
+def spike_throughput(population: Sequence[int],
+                     throughput: Sequence[float],
+                     *, quantile: float = 90.0) -> dict:
+    """Throughput under load spikes vs the run overall.
+
+    Splits the per-interval *throughput* series by whether that
+    interval's *population* was at or above the series' *quantile*-th
+    percentile, and reports the mean in each regime plus their ratio
+    (``spike / overall``; 1.0 means throughput held up under the
+    spike).  Intervals with zero population are excluded from the
+    overall mean so idle lead-ins do not dilute it.
+    """
+    if len(population) != len(throughput):
+        raise ValueError("population/throughput series length mismatch")
+    busy = [(p, t) for p, t in zip(population, throughput) if p > 0]
+    if not busy:
+        return {"overall": 0.0, "spike": 0.0, "ratio": 1.0}
+    threshold = percentile([p for p, _ in busy], quantile)
+    overall = sum(t for _, t in busy) / len(busy)
+    spike_rows = [t for p, t in busy if p >= threshold]
+    spike = sum(spike_rows) / len(spike_rows) if spike_rows else 0.0
+    return {
+        "overall": overall,
+        "spike": spike,
+        "ratio": spike / overall if overall > 0 else 1.0,
+    }

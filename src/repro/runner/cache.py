@@ -11,9 +11,10 @@ and ``"call"`` payloads are JSON-normalised at execution time.
 Bumping :data:`repro.__version__` invalidates every entry, so stale
 results can never leak across simulator changes; the key also folds in
 the engine/backend schema tag
-(:data:`repro.engine.backends.ENGINE_CACHE_TAG`), so results produced
-by a different loop/backend generation are invalidated even when the
-package version is unchanged.
+(:data:`repro.engine.backends.ENGINE_CACHE_TAG`) and the scenario
+schema tag (:data:`repro.workloads.scenario.SCENARIO_CACHE_TAG`), so
+results produced by a different loop/backend/scenario generation are
+invalidated even when the package version is unchanged.
 """
 
 from __future__ import annotations
@@ -35,6 +36,7 @@ from repro.config import default_cache_dir  # noqa: F401
 from repro.engine.backends import ENGINE_CACHE_TAG
 from repro.runner.units import WorkUnit
 from repro.telemetry.events import IntervalRecord
+from repro.workloads.scenario import SCENARIO_CACHE_TAG
 
 #: Sentinel distinguishing "not cached" from a legitimately-None payload.
 MISS = object()
@@ -82,6 +84,11 @@ class ResultCache:
             {
                 "backend": self.backend,
                 "experiment": experiment,
+                # Scenario schedules and their placement semantics are
+                # part of what a cached result means: bumping the
+                # scenario-layer tag invalidates dynamic-run entries
+                # without touching the package version.
+                "scenario": SCENARIO_CACHE_TAG,
                 "sim_cache": self.sim_cache,
                 "unit": dataclasses.asdict(unit),
                 "version": self.version,

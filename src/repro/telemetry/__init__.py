@@ -19,6 +19,7 @@ from repro.telemetry.events import (
     ArbitrationRecord,
     EnergyRecord,
     IntervalRecord,
+    LifecycleRecord,
     MigrationRecord,
     RunRecord,
     TelemetryEvent,
@@ -41,6 +42,7 @@ __all__ = [
     "EnergyRecord",
     "IntervalRecord",
     "JSONLSink",
+    "LifecycleRecord",
     "MemorySink",
     "MigrationRecord",
     "PhaseProfiler",

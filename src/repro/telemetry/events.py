@@ -19,6 +19,8 @@ Record kinds:
   :class:`~repro.cmp.migration.MigrationCostModel` computed plus the
   Schedule-Cache bytes that crossed the shared bus.
 * ``"energy"`` — the energy charged to one application this interval.
+* ``"lifecycle"`` — one application arriving into or departing from a
+  dynamic scenario run (see :mod:`repro.engine.lifecycle`).
 * ``"run"`` — an end-of-run summary with the final counter totals.
 
 Records round-trip losslessly through JSON (:func:`to_record` /
@@ -91,6 +93,27 @@ class EnergyRecord:
 
 
 @dataclass(slots=True)
+class LifecycleRecord:
+    """One application arriving or departing mid-run.
+
+    Emitted by :class:`~repro.engine.lifecycle.LifecyclePhase` when a
+    scenario schedule admits or retires an application; ``resident``
+    is the cluster population *after* the event took effect.
+    """
+
+    interval: int
+    app: str                    #: scenario uid (unique within the run)
+    event: str                  #: "arrive" | "depart"
+    benchmark: str = ""         #: profile name behind the uid
+    cluster: str = ""           #: cluster label in multi-cluster runs
+    resident: int = 0           #: population after the event
+    completions: int = 0        #: budget completions (depart only)
+    residency_intervals: int = 0  #: intervals resident (depart only)
+
+    kind: ClassVar[str] = "lifecycle"
+
+
+@dataclass(slots=True)
 class RunRecord:
     """End-of-run summary: identity plus final counter totals."""
 
@@ -105,14 +128,14 @@ class RunRecord:
 
 TelemetryEvent = Union[
     IntervalRecord, ArbitrationRecord, MigrationRecord,
-    EnergyRecord, RunRecord,
+    EnergyRecord, LifecycleRecord, RunRecord,
 ]
 
 #: Registry used by :func:`from_record` and the ``mirage trace`` command.
 EVENT_TYPES: dict[str, type] = {
     cls.kind: cls
     for cls in (IntervalRecord, ArbitrationRecord, MigrationRecord,
-                EnergyRecord, RunRecord)
+                EnergyRecord, LifecycleRecord, RunRecord)
 }
 
 

@@ -20,6 +20,13 @@ from repro.workloads.profiles import (
     BenchmarkProfile,
     get_profile,
 )
+from repro.workloads.scenario import (
+    SCENARIO_CACHE_TAG,
+    SHAPES,
+    AppArrival,
+    Scenario,
+    make_scenario,
+)
 
 __all__ = [
     "BenchmarkProfile",
@@ -32,4 +39,9 @@ __all__ = [
     "make_benchmark",
     "WorkloadMix",
     "standard_mixes",
+    "SCENARIO_CACHE_TAG",
+    "SHAPES",
+    "AppArrival",
+    "Scenario",
+    "make_scenario",
 ]

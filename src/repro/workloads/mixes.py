@@ -43,6 +43,19 @@ class WorkloadMix:
     def __iter__(self):
         return iter(self.benchmarks)
 
+    def as_scenario(self):
+        """This mix as the degenerate dynamic scenario.
+
+        Every benchmark arrives at interval 0, nobody departs, and the
+        run goes to completion — see
+        :meth:`repro.workloads.scenario.Scenario.from_mix`.
+        """
+        # Imported here: repro.workloads.scenario imports the profile
+        # tables from this package, so the reverse import stays lazy.
+        from repro.workloads.scenario import Scenario
+
+        return Scenario.from_mix(self)
+
 
 def _sample(pool: tuple[str, ...], k: int, rng: random.Random) -> tuple[str, ...]:
     """Sample *k* benchmarks, reusing the pool when k exceeds its size."""

@@ -1,0 +1,309 @@
+"""Dynamic workload scenarios: arrivals, departures, traffic shapes.
+
+The paper evaluates fixed mixes — every application present at t=0,
+run to completion.  A :class:`Scenario` generalizes that to *traffic*:
+a seeded schedule of application arrivals and departures over a fixed
+horizon of arbitration intervals, with the arrival intensity following
+one of four :data:`SHAPES`:
+
+* ``"steady"``  — arrivals spread evenly over the admission window;
+* ``"bursty"``  — most arrivals clumped into a few tight bursts over a
+  sparse background (the spike pattern the throughput-under-spike
+  metric probes);
+* ``"diurnal"`` — a single sinusoidal day-curve peaking mid-horizon;
+* ``"mixed"``   — half the population steady, half bursty.
+
+Every schedule is a pure function of ``(shape, n_apps, duration,
+seed)``; scenarios are plain frozen data and round-trip losslessly
+through JSON (:meth:`Scenario.to_dict` / :meth:`Scenario.from_dict`),
+so they can cross process boundaries and serve as cache-key material.
+
+:meth:`Scenario.from_mix` embeds the existing
+:class:`~repro.workloads.mixes.WorkloadMix` world as the *degenerate*
+scenario — every application arrives at interval 0, nobody departs,
+``duration=0`` meaning "run to completion" — which is how the dynamic
+engine path proves itself behavior-preserving against
+:class:`~repro.cmp.system.CMPSystem`.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Iterable, Sequence
+
+from repro.workloads.profiles import ALL_BENCHMARKS
+
+if TYPE_CHECKING:
+    from repro.workloads.mixes import WorkloadMix
+
+#: Scenario-layer schema tag, mixed into every
+#: :class:`~repro.runner.cache.ResultCache` key (same pattern as
+#: :data:`repro.engine.backends.ENGINE_CACHE_TAG`): results produced
+#: by a different scenario-generation or lifecycle-semantics
+#: generation can never be served against the current layer.
+SCENARIO_CACHE_TAG = "scenario-layer/v1"
+
+#: The supported arrival-intensity patterns.
+SHAPES = ("steady", "bursty", "diurnal", "mixed")
+
+#: Shape label used by degenerate (fixed-mix) scenarios.
+STATIC_SHAPE = "static"
+
+
+@dataclass(frozen=True, slots=True)
+class AppArrival:
+    """One application's scheduled lifetime within a scenario.
+
+    ``requested`` records when the application *asked* to start;
+    ``arrive`` is when the global scheduler actually admitted it
+    (equal until a capacity-constrained placement delays admission).
+    ``depart=None`` means the application stays resident until the
+    scenario's horizon ends.
+    """
+
+    uid: str            #: unique id within the scenario, e.g. "mcf@3"
+    benchmark: str      #: profile name (see repro.workloads.profiles)
+    arrive: int         #: admission interval index
+    depart: int | None = None   #: scheduled retirement interval
+    requested: int | None = None  #: originally requested arrival
+
+    def __post_init__(self) -> None:
+        if self.arrive < 0:
+            raise ValueError(f"negative arrival for {self.uid!r}")
+        if self.depart is not None and self.depart <= self.arrive:
+            raise ValueError(
+                f"{self.uid!r} departs at {self.depart} but arrives "
+                f"at {self.arrive}")
+
+    @property
+    def queued(self) -> int:
+        """Intervals spent queued before admission (0 when unknown)."""
+        if self.requested is None:
+            return 0
+        return max(0, self.arrive - self.requested)
+
+    def to_row(self) -> list:
+        """JSON-pure row encoding (inverse of :meth:`from_row`)."""
+        return [self.uid, self.benchmark, self.arrive, self.depart,
+                self.requested]
+
+    @classmethod
+    def from_row(cls, row: Sequence) -> "AppArrival":
+        """Rebuild an arrival from its :meth:`to_row` encoding."""
+        uid, benchmark, arrive, depart, requested = row
+        return cls(uid=uid, benchmark=benchmark, arrive=arrive,
+                   depart=depart, requested=requested)
+
+
+@dataclass(frozen=True, slots=True)
+class Scenario:
+    """A seeded schedule of application arrivals and departures.
+
+    ``duration`` is the simulation horizon in arbitration intervals;
+    ``duration=0`` is the degenerate "run to completion" mode (only
+    meaningful when every application arrives at interval 0 and none
+    departs — i.e. a :class:`~repro.workloads.mixes.WorkloadMix`).
+    """
+
+    name: str
+    shape: str
+    duration: int
+    arrivals: tuple[AppArrival, ...]
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.shape not in (*SHAPES, STATIC_SHAPE):
+            raise ValueError(f"bad scenario shape {self.shape!r}")
+        if self.duration < 0:
+            raise ValueError("duration must be >= 0")
+        if not self.arrivals:
+            raise ValueError("empty scenario")
+        uids = [a.uid for a in self.arrivals]
+        if len(set(uids)) != len(uids) and not self.is_static:
+            raise ValueError(f"duplicate uids in scenario {self.name!r}")
+        if self.duration == 0 and not self.is_static:
+            raise ValueError(
+                "duration=0 (run to completion) requires a static "
+                "schedule: all arrivals at 0, no departures")
+
+    def __len__(self) -> int:
+        return len(self.arrivals)
+
+    # ------------------------------------------------------------------
+    @property
+    def benchmarks(self) -> tuple[str, ...]:
+        """Benchmark names in schedule order."""
+        return tuple(a.benchmark for a in self.arrivals)
+
+    @property
+    def is_static(self) -> bool:
+        """True for the degenerate all-at-t=0, no-departures schedule."""
+        return all(a.arrive == 0 and a.depart is None
+                   for a in self.arrivals)
+
+    def population(self, interval: int) -> int:
+        """Applications resident during *interval*.
+
+        Departures take effect at the start of their interval, so an
+        application with ``depart=k`` is *not* resident at ``k``.
+        """
+        return sum(
+            1 for a in self.arrivals
+            if a.arrive <= interval
+            and (a.depart is None or interval < a.depart))
+
+    def peak_population(self) -> int:
+        """The largest concurrent population the schedule reaches."""
+        edges = {a.arrive for a in self.arrivals}
+        return max((self.population(t) for t in edges), default=0)
+
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        """JSON-pure encoding (inverse of :meth:`from_dict`)."""
+        return {
+            "name": self.name,
+            "shape": self.shape,
+            "duration": self.duration,
+            "seed": self.seed,
+            "arrivals": [a.to_row() for a in self.arrivals],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Scenario":
+        """Rebuild a scenario from its :meth:`to_dict` encoding."""
+        return cls(
+            name=data["name"],
+            shape=data["shape"],
+            duration=data["duration"],
+            seed=data.get("seed", 0),
+            arrivals=tuple(
+                AppArrival.from_row(row) for row in data["arrivals"]),
+        )
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_mix(cls, mix: "WorkloadMix") -> "Scenario":
+        """The degenerate scenario for a fixed mix.
+
+        Every benchmark arrives at interval 0 with no scheduled
+        departure, and ``duration=0`` means "run to completion" — the
+        exact semantics :class:`~repro.cmp.system.CMPSystem` gives the
+        mix itself.  uids are the bare benchmark names (duplicates
+        allowed, as in mixes), so the engine-visible app names are
+        byte-identical to the fixed-population path.
+        """
+        return cls(
+            name=mix.name,
+            shape=STATIC_SHAPE,
+            duration=0,
+            arrivals=tuple(
+                AppArrival(uid=name, benchmark=name, arrive=0)
+                for name in mix.benchmarks),
+        )
+
+
+# ----------------------------------------------------------------------
+# Seeded schedule generators
+# ----------------------------------------------------------------------
+def _arrival_times(shape: str, n_apps: int, duration: int,
+                   rng: random.Random) -> list[int]:
+    """Admission-window arrival instants for one shape (sorted)."""
+    # Leave the last quarter of the horizon arrival-free so late
+    # arrivals still accumulate observable residency.
+    window = max(1, (3 * duration) // 4)
+    if shape == "steady":
+        jitter = max(1, window // max(1, 2 * n_apps))
+        times = [
+            min(window - 1, (i * window) // n_apps
+                + rng.randrange(jitter))
+            for i in range(n_apps)
+        ]
+    elif shape == "bursty":
+        n_bursts = max(2, n_apps // 8)
+        centers = sorted(
+            rng.randrange(window) for _ in range(n_bursts))
+        spread = max(1, duration // 50)
+        times = []
+        for _ in range(n_apps):
+            if rng.random() < 0.7:      # clumped into a burst
+                c = rng.choice(centers)
+                t = c + rng.randrange(-spread, spread + 1)
+            else:                        # sparse background
+                t = rng.randrange(window)
+            times.append(min(window - 1, max(0, t)))
+    elif shape == "diurnal":
+        # One sinusoidal day-curve peaking mid-horizon; sampled with
+        # rng.choices over per-interval weights (pure function of the
+        # seed, no rejection loop).
+        candidates = list(range(window))
+        weights = [
+            1.0 + math.sin(2.0 * math.pi * t / window - math.pi / 2.0)
+            + 1e-3
+            for t in candidates
+        ]
+        times = rng.choices(candidates, weights=weights, k=n_apps)
+    elif shape == "mixed":
+        half = n_apps // 2
+        times = (_arrival_times("steady", half, duration, rng)
+                 + _arrival_times("bursty", n_apps - half, duration, rng))
+    else:
+        raise ValueError(f"unknown scenario shape {shape!r}")
+    return sorted(times)
+
+
+def make_scenario(
+    shape: str,
+    *,
+    n_apps: int,
+    duration: int,
+    seed: int = 2017,
+    pool: Iterable[str] = ALL_BENCHMARKS,
+    service: tuple[float, float] = (0.15, 0.45),
+    name: str | None = None,
+) -> Scenario:
+    """Generate one seeded scenario of *shape*.
+
+    Args:
+        shape: one of :data:`SHAPES`.
+        n_apps: total applications arriving over the horizon.
+        duration: simulation horizon in arbitration intervals.
+        seed: schedule seed; same arguments → same schedule, always.
+        pool: benchmark names to draw from.
+        service: (min, max) residency as fractions of *duration*;
+            departures past the horizon simply stay resident to the
+            end.
+        name: scenario display name (default ``{shape}-s{seed}``).
+    """
+    if shape not in SHAPES:
+        raise ValueError(
+            f"unknown scenario shape {shape!r} — choose from "
+            f"{', '.join(SHAPES)}")
+    if n_apps < 1:
+        raise ValueError("n_apps must be >= 1")
+    if duration < 4:
+        raise ValueError("duration must be >= 4 intervals")
+    lo, hi = service
+    if not 0.0 < lo <= hi:
+        raise ValueError("service fractions must satisfy 0 < lo <= hi")
+    pool = tuple(pool)
+    rng = random.Random(f"{shape}/{n_apps}/{duration}/{seed}")
+    times = _arrival_times(shape, n_apps, duration, rng)
+    min_service = max(1, int(lo * duration))
+    max_service = max(min_service, int(hi * duration))
+    arrivals = []
+    for k, arrive in enumerate(times):
+        benchmark = rng.choice(pool)
+        depart = arrive + rng.randint(min_service, max_service)
+        arrivals.append(AppArrival(
+            uid=f"{benchmark}@{k}", benchmark=benchmark,
+            arrive=arrive, depart=depart, requested=arrive,
+        ))
+    return Scenario(
+        name=name or f"{shape}-s{seed}",
+        shape=shape,
+        duration=duration,
+        arrivals=tuple(arrivals),
+        seed=seed,
+    )

@@ -214,6 +214,78 @@ class TestCompare:
         assert DEFAULT_THRESHOLD == 0.20
 
 
+def make_sampled_report(label, samples_by_name):
+    """A schema-valid report with explicit wall samples per benchmark."""
+    report = make_report(label, {})
+    report["benchmarks"] = {
+        name: {
+            "tier": "detailed",
+            "description": name,
+            "wall_seconds": list(samples),
+            "best": min(samples),
+            "mean": sum(samples) / len(samples),
+            "phases": {},
+            "counters": {},
+        }
+        for name, samples in samples_by_name.items()
+    }
+    return report
+
+
+class TestNoiseAwareCompare:
+    def test_noisy_shift_within_sigma_is_not_a_regression(self):
+        # Means differ by 30% (over the 20% threshold) but the samples
+        # are so scattered the shift is within the 2-sigma noise floor.
+        old = make_sampled_report("old", {"a": [0.6, 1.0, 1.4]})
+        new = make_sampled_report("new", {"a": [0.9, 1.3, 1.7]})
+        comparison = compare_reports(old, new, threshold=0.20)
+        delta = comparison.deltas[0]
+        assert delta.ratio > 1.20
+        assert delta.noise_floor > delta.new_mean - delta.old_mean
+        assert comparison.ok
+
+    def test_consistent_shift_beyond_sigma_is_a_regression(self):
+        old = make_sampled_report("old", {"a": [1.00, 1.01, 0.99]})
+        new = make_sampled_report("new", {"a": [1.30, 1.31, 1.29]})
+        comparison = compare_reports(old, new, threshold=0.20)
+        assert not comparison.ok
+        assert comparison.deltas[0].regressed
+
+    def test_improvement_also_gated_by_noise(self):
+        old = make_sampled_report("old", {"a": [0.7, 1.0, 1.3]})
+        new = make_sampled_report("new", {"a": [0.5, 0.8, 1.1]})
+        comparison = compare_reports(old, new, threshold=0.20)
+        assert not comparison.improvements
+        steady = compare_reports(
+            make_sampled_report("old", {"a": [1.00, 1.01, 0.99]}),
+            make_sampled_report("new", {"a": [0.70, 0.71, 0.69]}),
+            threshold=0.20)
+        assert steady.improvements
+
+    def test_single_sample_degenerates_to_pure_threshold(self):
+        # repeats=1 reports carry one sample: std is zero, so the
+        # verdict is the historical mean-ratio threshold.
+        old = make_report("old", {"a": 1.0})
+        new = make_report("new", {"a": 1.25})
+        comparison = compare_reports(old, new, threshold=0.20)
+        assert comparison.deltas[0].noise_floor == 0.0
+        assert not comparison.ok
+
+    def test_pre_noise_reports_without_samples_still_compare(self):
+        old = make_report("old", {"a": 1.0})
+        del old["benchmarks"]["a"]["wall_seconds"]
+        new = make_report("new", {"a": 1.5})
+        comparison = compare_reports(old, new, threshold=0.20)
+        assert comparison.deltas[0].old_mean == 1.0
+        assert not comparison.ok
+
+    def test_summary_shows_mean_and_spread(self):
+        old = make_sampled_report("old", {"a": [1.0, 1.2]})
+        new = make_sampled_report("new", {"a": [1.0, 1.2]})
+        summary = compare_reports(old, new).summary()
+        assert "±" in summary and "x 1.00" in summary
+
+
 class TestCLI:
     def test_bench_list(self, capsys):
         assert main(["bench", "--list"]) == 0

@@ -31,6 +31,12 @@ DOCUMENTED_SURFACES = [
     "repro.api",
     "repro.config",
     "repro.cmp.sharded",
+    "repro.workloads.scenario",
+    "repro.engine.lifecycle",
+    "repro.cluster",
+    "repro.cluster.scheduler",
+    "repro.cluster.dynamic",
+    "repro.metrics.scenario",
 ]
 
 
