@@ -1,0 +1,131 @@
+#!/usr/bin/env python
+"""CI smoke for the experiment service: the full serve/submit/tail
+loop as a user would run it, plus a result-identity check.
+
+The script:
+
+1. starts ``mirage serve`` as a real background process (two
+   workers, scratch service/cache directories),
+2. submits ``table1 --quick`` through ``mirage submit --porcelain``,
+3. follows it with ``mirage tail`` until the job completes,
+4. asserts the streamed result is identical (as canonical JSON) to
+   ``run_experiment("table1", quick=True)`` executed directly in this
+   process, and
+5. shuts the server down cleanly through ``mirage shutdown`` and
+   checks it exits 0.
+
+Run as ``python scripts/service_smoke.py --src src``.  Everything
+lives under a temp directory; nothing persists.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+
+def wait_for(predicate, timeout: float, message: str) -> None:
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return
+        time.sleep(0.2)
+    raise SystemExit(f"service_smoke: timed out waiting for {message}")
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--src", default="src",
+                        help="package root to put on PYTHONPATH")
+    parser.add_argument("--timeout", type=float, default=600.0,
+                        help="overall budget for the submitted job")
+    args = parser.parse_args()
+
+    src = str(Path(args.src).resolve())
+    sys.path.insert(0, src)
+
+    scratch = Path(tempfile.mkdtemp(prefix="mirage-service-smoke-"))
+    service_dir = scratch / "svc"
+    env = dict(os.environ)
+    env["PYTHONPATH"] = src + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else "")
+    env["MIRAGE_SERVICE_DIR"] = str(service_dir)
+    env["MIRAGE_CACHE_DIR"] = str(scratch / "cache")
+
+    mirage = [sys.executable, "-m", "repro"]
+    print(f"[smoke] scratch: {scratch}", flush=True)
+    serve = subprocess.Popen([*mirage, "serve", "--workers", "2"],
+                             env=env)
+    try:
+        wait_for(lambda: (service_dir / "server.json").exists(),
+                 30.0, "server.json (server startup)")
+
+        job_id = subprocess.check_output(
+            [*mirage, "submit", "table1", "--quick", "--porcelain"],
+            env=env, text=True).strip()
+        print(f"[smoke] submitted job {job_id}", flush=True)
+
+        tail = subprocess.run([*mirage, "tail", job_id], env=env,
+                              timeout=args.timeout)
+        if tail.returncode != 0:
+            raise SystemExit(
+                f"service_smoke: mirage tail exited {tail.returncode}")
+
+        listing = subprocess.check_output([*mirage, "jobs"], env=env,
+                                          text=True)
+        print(f"[smoke] jobs:\n{listing}", flush=True)
+        if job_id not in listing or "done" not in listing:
+            raise SystemExit("service_smoke: job missing from listing")
+
+        # Identity: the streamed result must match a direct run.
+        from repro.api import run_experiment
+        from repro.service import ServiceClient
+
+        client = ServiceClient(service_dir=service_dir)
+        streamed = client.result(job_id, timeout=args.timeout)
+        direct = run_experiment("table1", quick=True)
+        canonical = dict(separators=(",", ":"), sort_keys=True)
+        streamed_json = json.dumps(streamed[0], **canonical)
+        direct_json = json.dumps(json.loads(json.dumps(direct)),
+                                 **canonical)
+        if streamed_json != direct_json:
+            print(f"[smoke] streamed: {streamed_json[:400]}...",
+                  file=sys.stderr)
+            print(f"[smoke] direct:   {direct_json[:400]}...",
+                  file=sys.stderr)
+            raise SystemExit(
+                "service_smoke: streamed result differs from a "
+                "direct run_experiment('table1', quick=True)")
+        print("[smoke] streamed result == direct run", flush=True)
+
+        shutdown = subprocess.run([*mirage, "shutdown"], env=env,
+                                  timeout=60)
+        if shutdown.returncode != 0:
+            raise SystemExit("service_smoke: mirage shutdown failed")
+        serve.wait(timeout=60)
+        if serve.returncode != 0:
+            raise SystemExit(
+                f"service_smoke: serve exited {serve.returncode}")
+        if (service_dir / "server.json").exists():
+            raise SystemExit(
+                "service_smoke: server.json left behind after "
+                "a clean shutdown")
+        print("[smoke] clean shutdown — OK", flush=True)
+        return 0
+    finally:
+        if serve.poll() is None:
+            serve.terminate()
+            try:
+                serve.wait(timeout=10)
+            except subprocess.TimeoutExpired:
+                serve.kill()
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -12,7 +12,7 @@ package version's compatibility promise, internal layouts do not.
 Legacy aliases that predate the facade (``repro.cmp.system.
 IntervalSample``) now warn on import and point here.
 
-The facade groups five surfaces:
+The facade groups six surfaces:
 
 * **building blocks** — workloads, app models, cluster configs;
 * **simulation** — :class:`CMPSystem` (interval tier),
@@ -22,6 +22,9 @@ The facade groups five surfaces:
 * **arbitration** — the five paper arbitrators;
 * **infrastructure** — telemetry, the sweep runner, and every cache
   layer behind one :class:`CacheConfig`;
+* **service** — the :mod:`repro.service` job server's client side
+  (:class:`ServiceClient`, :class:`ServiceConfig`,
+  :class:`SubmitRequest`);
 * **entry points** — :func:`run_experiment` over the named experiment
   registry, and the bench harness.
 """
@@ -52,7 +55,7 @@ from repro.cmp.sharded import (
     run_cluster_spec,
 )
 from repro.cmp.system import CMPResult, CMPSystem, run_homo
-from repro.config import CacheConfig, default_cache_dir
+from repro.config import CacheConfig, ServiceConfig, default_cache_dir
 from repro.engine import (
     AnalyticBackend,
     AppViewBatch,
@@ -61,6 +64,7 @@ from repro.engine import (
 )
 from repro.experiments import EXPERIMENTS, ExperimentParams
 from repro.runner import ResultCache, SweepRunner, call_unit, cmp_unit
+from repro.service import ServiceClient, SubmitRequest
 from repro.simcache import SliceMemo, SliceStore
 from repro.telemetry import (
     IntervalRecord,
@@ -92,6 +96,8 @@ __all__ = [
     "CacheConfig", "IntervalRecord", "JSONLSink", "MemorySink",
     "ResultCache", "SliceMemo", "SliceStore", "SweepRunner",
     "Telemetry", "call_unit", "cmp_unit", "default_cache_dir",
+    # service
+    "ServiceClient", "ServiceConfig", "SubmitRequest",
     # entry points
     "EXPERIMENTS", "ExperimentParams", "compare_reports",
     "run_benchmarks", "run_experiment",

@@ -430,3 +430,71 @@ def bench_runner_cache(ctx: BenchContext) -> None:
         counters.bump("cache.payload_bytes", len(json.dumps(
             back.speedups)))
         counters.bump("cache.stp_milli", round(back.stp * 1000))
+
+
+@register(
+    "service-roundtrip", tier="infra",
+    description="Experiment service end to end: in-process server, "
+                "one spawned worker, jobs submitted, streamed, then "
+                "resubmitted as pure cache hits",
+)
+def bench_service_roundtrip(ctx: BenchContext) -> None:
+    """Submission-to-result latency through the whole service stack.
+
+    Spins up an :class:`~repro.service.server.ExperimentServer` (one
+    worker process) against temp directories, pushes a batch of echo
+    jobs through submit → dispatch → execute → stream, then resubmits
+    the identical batch — which must come back entirely from the
+    result cache.  The probe asserts both counts, so a dedup
+    regression fails loudly here before it costs real compute.
+    """
+    import os
+
+    from repro.config import CacheConfig, ServiceConfig
+    from repro.service import ServerHandle, ServiceClient, SubmitRequest
+
+    n_jobs = ctx.size(8, 3)
+    saved_env = {key: os.environ.get(key)
+                 for key in ("MIRAGE_CACHE_DIR",)}
+    with tempfile.TemporaryDirectory(prefix="mirage-bench-") as tmp:
+        config = ServiceConfig(
+            workers=1, service_dir=Path(tmp) / "svc",
+            cache=CacheConfig(cache_dir=str(Path(tmp) / "cache"),
+                              use_result_cache=True))
+        with ctx.telemetry.profiler.time("serve"):
+            handle = ServerHandle.start(config)
+        try:
+            client = ServiceClient(service_dir=config.service_dir)
+            requests = [
+                SubmitRequest(
+                    target="repro.service.protocol:echo_unit",
+                    kwargs=(("tag", f"bench-{i}"),))
+                for i in range(n_jobs)
+            ]
+            with ctx.telemetry.profiler.time("submit-wait"):
+                ids = [client.submit(r)["job"]["id"] for r in requests]
+                for job_id in ids:
+                    client.result(job_id, timeout=120)
+            with ctx.telemetry.profiler.time("cached-resubmit"):
+                for request in requests:
+                    again = client.submit(request)["job"]
+                    if again["state"] != "done":
+                        client.result(again["id"], timeout=120)
+            stats = client.health()["stats"]
+        finally:
+            handle.stop(drain=True)
+            for key, value in saved_env.items():
+                if value is None:
+                    os.environ.pop(key, None)
+                else:
+                    os.environ[key] = value
+    if stats["executions"] != n_jobs:
+        raise RuntimeError(
+            f"expected {n_jobs} executions, saw {stats['executions']}")
+    if stats["cache_hits"] != n_jobs:
+        raise RuntimeError(
+            f"expected {n_jobs} cache hits, saw {stats['cache_hits']}")
+    counters = ctx.telemetry.counters
+    counters.bump("service.jobs", 2 * n_jobs)
+    counters.bump("service.executions", stats["executions"])
+    counters.bump("service.cache_hits", stats["cache_hits"])

@@ -21,6 +21,10 @@ All cache switches travel as one :class:`repro.config.CacheConfig`.
 writes a schema-versioned ``BENCH_<label>.json``; ``mirage bench
 --compare OLD NEW`` diffs two such reports and fails on regressions
 (see ``docs/performance.md``).
+
+``mirage serve`` runs the :mod:`repro.service` job server, and
+``mirage submit`` / ``jobs`` / ``tail`` / ``shutdown`` talk to it
+(see ``docs/service.md``).
 """
 
 from __future__ import annotations
@@ -45,6 +49,11 @@ def _print_listing() -> None:
           f"inspect a JSONL telemetry trace (mirage trace FILE)")
     print(f"{'bench':<{width}}  {'':<{fig_width}}  "
           f"run the perf microbenchmarks (mirage bench --help)")
+    print(f"{'serve':<{width}}  {'':<{fig_width}}  "
+          f"run the experiment job server (mirage serve --help)")
+    print(f"{'submit':<{width}}  {'':<{fig_width}}  "
+          f"submit experiments to a server (also: jobs, tail, "
+          f"shutdown)")
 
 
 #: ``mirage trace --kind`` choices: the record kinds with a table view.
@@ -303,6 +312,12 @@ def main(argv: list[str] | None = None) -> int:
         # `bench` owns its option namespace (repeat counts, compare
         # paths); route before the experiment parser sees them.
         return _bench_command(argv[1:])
+    if argv[:1] and argv[0] in ("serve", "submit", "jobs", "tail",
+                                "shutdown"):
+        # Service subcommands own their option namespaces too.
+        from repro.service.cli import service_command
+
+        return service_command(argv)
     parser = argparse.ArgumentParser(
         prog="mirage",
         description=(

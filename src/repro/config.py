@@ -21,6 +21,12 @@ config built from defaults changes nothing.
 :func:`default_cache_dir` lives here (re-exported from
 :mod:`repro.runner.cache` for compatibility) because both the result
 cache and the slice store root under it.
+
+:class:`ServiceConfig` is the same idea for the experiment service
+(:mod:`repro.service`): one picklable dataclass carrying every server
+knob — bind address, fleet size, heartbeat cadence, the service state
+directory — that the CLI builds once and hands to
+:class:`~repro.service.server.ExperimentServer`.
 """
 
 from __future__ import annotations
@@ -33,6 +39,14 @@ from typing import TYPE_CHECKING
 if TYPE_CHECKING:
     from repro.runner.cache import ResultCache
 
+#: Schema tag for results the experiment service stores through the
+#: shared :class:`~repro.runner.cache.ResultCache`.  Folded into every
+#: cache key, so bumping it (when the service's job decomposition or
+#: payload encoding changes meaning) invalidates service-produced
+#: entries without touching the package version.  Lives here, not in
+#: :mod:`repro.service`, so the cache can import it without a cycle.
+SERVICE_CACHE_TAG = "service-v1"
+
 
 def default_cache_dir() -> Path:
     """``$MIRAGE_CACHE_DIR``, else ``$XDG_CACHE_HOME/mirage``, else
@@ -43,6 +57,20 @@ def default_cache_dir() -> Path:
     xdg = os.environ.get("XDG_CACHE_HOME")
     base = Path(xdg) if xdg else Path.home() / ".cache"
     return base / "mirage"
+
+
+def default_service_dir() -> Path:
+    """``$MIRAGE_SERVICE_DIR``, else ``service/`` under the cache dir.
+
+    The service directory holds everything a running server owns: the
+    ``server.json`` address file, the job journal, and the per-job
+    JSONL stream files.  Rooting it under :func:`default_cache_dir`
+    keeps every on-disk artifact of the system under one tree.
+    """
+    env = os.environ.get("MIRAGE_SERVICE_DIR")
+    if env:
+        return Path(env)
+    return default_cache_dir() / "service"
 
 
 @dataclass
@@ -108,3 +136,48 @@ class CacheConfig:
         from repro.runner.cache import ResultCache
 
         return ResultCache(self.cache_dir)
+
+
+@dataclass
+class ServiceConfig:
+    """Every experiment-server knob, in one picklable place.
+
+    Attributes:
+        host: interface the server binds; loopback by default — the
+            service trusts its clients.
+        port: TCP port to bind; 0 picks an ephemeral port (the bound
+            address is published in ``<service_dir>/server.json``).
+        workers: worker processes to spawn and keep alive; 0 runs a
+            server with no fleet of its own (external workers may
+            still connect, which is how the tests drive eviction).
+        heartbeat_interval: seconds between worker heartbeats.
+        heartbeat_timeout: seconds of heartbeat silence after which a
+            worker is evicted and its in-flight unit requeued.
+        drain_timeout: seconds a graceful drain waits for in-flight
+            work before shutting down anyway.
+        service_dir: state directory (``None`` =
+            :func:`default_service_dir`): address file, journal,
+            per-job stream files.
+        cache: the cache switches workers and the dedup layer run
+            under; ``None`` means :meth:`CacheConfig.from_env`.
+    """
+
+    host: str = "127.0.0.1"
+    port: int = 0
+    workers: int = 2
+    heartbeat_interval: float = 1.0
+    heartbeat_timeout: float = 5.0
+    drain_timeout: float = 30.0
+    service_dir: str | Path | None = None
+    cache: CacheConfig | None = None
+
+    def resolved_dir(self) -> Path:
+        """The service directory this config addresses, as a Path."""
+        if self.service_dir is not None:
+            return Path(self.service_dir)
+        return default_service_dir()
+
+    def cache_config(self) -> CacheConfig:
+        """The cache configuration the service runs under."""
+        return self.cache if self.cache is not None else (
+            CacheConfig.from_env())

@@ -32,7 +32,7 @@ from repro import simcache
 from repro.cmp.system import CMPResult
 # Canonical home is repro.config (the slice store roots there too);
 # re-exported here because this was its historical address.
-from repro.config import default_cache_dir  # noqa: F401
+from repro.config import SERVICE_CACHE_TAG, default_cache_dir  # noqa: F401
 from repro.engine.backends import ENGINE_CACHE_TAG
 from repro.runner.units import WorkUnit
 from repro.telemetry.events import IntervalRecord
@@ -89,6 +89,10 @@ class ResultCache:
                 # scenario-layer tag invalidates dynamic-run entries
                 # without touching the package version.
                 "scenario": SCENARIO_CACHE_TAG,
+                # The experiment service stores its job results through
+                # this cache (that sharing *is* the dedup layer), so
+                # its schema generation is part of the key too.
+                "service": SERVICE_CACHE_TAG,
                 "sim_cache": self.sim_cache,
                 "unit": dataclasses.asdict(unit),
                 "version": self.version,

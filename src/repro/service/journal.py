@@ -1,0 +1,138 @@
+"""The on-disk job journal: service state that survives restarts.
+
+The server appends one JSON line per state-changing event —
+submissions (with the full decomposed unit list) and job state
+transitions — fsyncing nothing and rewriting nothing: recovery is a
+pure replay.  On startup the server folds the journal into a
+:class:`JournalState`; jobs that never reached a terminal state are
+resubmitted from their journaled units (finished units come straight
+back from the result cache, so replayed work is usually free).
+
+The journal records *what was asked*, not result payloads — those
+live in the shared :class:`~repro.runner.cache.ResultCache` and the
+per-job stream files, so the journal stays small and append-only.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+
+
+class Journal:
+    """Append-only JSONL event log under the service directory."""
+
+    def __init__(self, path: str | Path):
+        self.path = Path(path)
+        self._handle = None
+
+    def append(self, event: dict) -> None:
+        """Write one event line (stamped with wall-clock ``ts``)."""
+        if self._handle is None:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            self._handle = self.path.open("a")
+        record = {"ts": round(time.time(), 3), **event}
+        self._handle.write(json.dumps(record, separators=(",", ":"))
+                           + "\n")
+        self._handle.flush()
+
+    def close(self) -> None:
+        """Release the file handle (appends may resume later)."""
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+
+@dataclass
+class JournaledJob:
+    """One job as reconstructed from the journal.
+
+    Attributes:
+        job_id: the id the job ran under.
+        state: last journaled state (``"queued"`` if only submitted).
+        request: the submission's JSON form.
+        units: the decomposed units' JSON forms, in order.
+        digests: the units' digests, in the same order.
+        priority: scheduling priority at submission.
+        seq: global submission sequence number.
+        error: failure detail, when the job failed.
+    """
+
+    job_id: str
+    state: str = "queued"
+    request: dict = field(default_factory=dict)
+    units: list = field(default_factory=list)
+    digests: list = field(default_factory=list)
+    priority: int = 0
+    seq: int = 0
+    error: str = ""
+
+
+@dataclass
+class JournalState:
+    """Everything a replay learns: jobs by id, and the counters a
+    restarted server must continue from.
+
+    Attributes:
+        jobs: job id → :class:`JournaledJob`, in submission order.
+        max_job_number: highest numeric job id seen (``"j7"`` → 7).
+        max_seq: highest submission sequence number seen.
+    """
+
+    jobs: dict[str, JournaledJob] = field(default_factory=dict)
+    max_job_number: int = 0
+    max_seq: int = 0
+
+    def unfinished(self) -> list[JournaledJob]:
+        """Jobs that never reached a terminal state, in order."""
+        from repro.service.jobs import TERMINAL_STATES
+
+        return [job for job in self.jobs.values()
+                if job.state not in TERMINAL_STATES]
+
+
+def replay(path: str | Path) -> JournalState:
+    """Fold a journal file into a :class:`JournalState`.
+
+    Tolerates a truncated final line (the crash case journals exist
+    for); any other malformed line is skipped rather than fatal, so a
+    damaged journal degrades to losing that event, not the service.
+    """
+    state = JournalState()
+    journal_path = Path(path)
+    if not journal_path.exists():
+        return state
+    with journal_path.open() as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                event = json.loads(line)
+            except json.JSONDecodeError:
+                continue
+            kind = event.get("event")
+            if kind == "submit":
+                job = JournaledJob(
+                    job_id=event.get("id", ""),
+                    request=event.get("request", {}),
+                    units=event.get("units", []),
+                    digests=event.get("digests", []),
+                    priority=int(event.get("priority", 0)),
+                    seq=int(event.get("seq", 0)),
+                )
+                if job.job_id:
+                    state.jobs[job.job_id] = job
+                    state.max_seq = max(state.max_seq, job.seq)
+                    number = job.job_id.lstrip("j")
+                    if number.isdigit():
+                        state.max_job_number = max(
+                            state.max_job_number, int(number))
+            elif kind == "state":
+                job = state.jobs.get(event.get("id", ""))
+                if job is not None:
+                    job.state = event.get("state", job.state)
+                    job.error = event.get("error", job.error)
+    return state

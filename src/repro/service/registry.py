@@ -1,0 +1,122 @@
+"""The typed worker registry: who is alive, idle, busy, or stale.
+
+The server tracks every connected worker — both the fleet it spawned
+and externally-attached ones — as a :class:`WorkerInfo` entry carrying
+its state, heartbeat clock, and in-flight unit.  The registry answers
+the three questions the dispatch and monitor loops ask: *who is idle*,
+*who went silent past the heartbeat timeout*, and *is everyone idle*
+(the graceful-drain condition).
+
+Heartbeats are compared on the monotonic clock, so wall-clock jumps
+can neither evict a healthy worker nor keep a dead one alive.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any
+
+#: Worker lifecycle states.
+IDLE = "idle"
+BUSY = "busy"
+DRAINING = "draining"
+
+
+@dataclass
+class WorkerInfo:
+    """One connected worker's registry entry.
+
+    Attributes:
+        worker_id: unique id (spawned fleet: ``"w1"``...; external
+            workers pick their own).
+        pid: worker process id, 0 when unknown.
+        state: ``"idle"`` | ``"busy"`` | ``"draining"``.
+        spawned: True when this server owns the process (and should
+            respawn a replacement if it dies).
+        connected_at: monotonic attach time.
+        last_beat: monotonic time of the last heartbeat (or any
+            message — results count as liveness too).
+        unit_digest: digest of the unit being executed, if busy.
+        units_done: units completed over this connection's lifetime.
+        handle: opaque transport/process handles owned by the server;
+            never serialized.
+    """
+
+    worker_id: str
+    pid: int = 0
+    state: str = IDLE
+    spawned: bool = False
+    connected_at: float = field(default_factory=time.monotonic)
+    last_beat: float = field(default_factory=time.monotonic)
+    unit_digest: str = ""
+    units_done: int = 0
+    handle: Any = None
+
+    def beat(self) -> None:
+        """Record a liveness signal now."""
+        self.last_beat = time.monotonic()
+
+    def silent_for(self) -> float:
+        """Seconds since the last liveness signal."""
+        return time.monotonic() - self.last_beat
+
+    def status(self) -> dict:
+        """The JSON summary served by ``GET /health``."""
+        return {
+            "id": self.worker_id,
+            "pid": self.pid,
+            "state": self.state,
+            "spawned": self.spawned,
+            "unit": self.unit_digest,
+            "units_done": self.units_done,
+            "silent_s": round(self.silent_for(), 3),
+        }
+
+
+class WorkerRegistry:
+    """Every connected worker, addressable by id."""
+
+    def __init__(self) -> None:
+        self._workers: dict[str, WorkerInfo] = {}
+
+    def __len__(self) -> int:
+        return len(self._workers)
+
+    def __contains__(self, worker_id: str) -> bool:
+        return worker_id in self._workers
+
+    def add(self, info: WorkerInfo) -> None:
+        """Register a worker; duplicate ids are a protocol error."""
+        if info.worker_id in self._workers:
+            raise ValueError(f"duplicate worker id {info.worker_id!r}")
+        self._workers[info.worker_id] = info
+
+    def get(self, worker_id: str) -> WorkerInfo | None:
+        """The entry for *worker_id*, or ``None``."""
+        return self._workers.get(worker_id)
+
+    def remove(self, worker_id: str) -> WorkerInfo | None:
+        """Drop and return a worker's entry (``None`` if unknown)."""
+        return self._workers.pop(worker_id, None)
+
+    def all(self) -> list[WorkerInfo]:
+        """Every registered worker, in attach order."""
+        return list(self._workers.values())
+
+    def idle(self) -> list[WorkerInfo]:
+        """Workers ready for an assignment."""
+        return [w for w in self._workers.values() if w.state == IDLE]
+
+    def busy(self) -> list[WorkerInfo]:
+        """Workers currently executing a unit."""
+        return [w for w in self._workers.values() if w.state == BUSY]
+
+    def stale(self, timeout: float) -> list[WorkerInfo]:
+        """Workers silent for longer than *timeout* seconds."""
+        return [w for w in self._workers.values()
+                if w.silent_for() > timeout]
+
+    def all_idle(self) -> bool:
+        """True when no worker holds in-flight work (drain condition)."""
+        return all(w.state != BUSY for w in self._workers.values())

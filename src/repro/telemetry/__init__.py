@@ -19,10 +19,12 @@ from repro.telemetry.events import (
     ArbitrationRecord,
     EnergyRecord,
     IntervalRecord,
+    JobRecord,
     LifecycleRecord,
     MigrationRecord,
     RunRecord,
     TelemetryEvent,
+    WorkerRecord,
     from_record,
     to_record,
 )
@@ -42,6 +44,7 @@ __all__ = [
     "EnergyRecord",
     "IntervalRecord",
     "JSONLSink",
+    "JobRecord",
     "LifecycleRecord",
     "MemorySink",
     "MigrationRecord",
@@ -50,6 +53,7 @@ __all__ = [
     "Telemetry",
     "TelemetryEvent",
     "TelemetrySink",
+    "WorkerRecord",
     "dump_record",
     "from_record",
     "read_trace",

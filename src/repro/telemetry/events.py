@@ -22,6 +22,11 @@ Record kinds:
 * ``"lifecycle"`` — one application arriving into or departing from a
   dynamic scenario run (see :mod:`repro.engine.lifecycle`).
 * ``"run"`` — an end-of-run summary with the final counter totals.
+* ``"job"`` — one state change of a job inside the experiment service
+  (:mod:`repro.service`); the per-job JSONL stream that ``mirage
+  tail`` follows is a sequence of these.
+* ``"worker"`` — one lifecycle event of a service worker process:
+  spawn, heartbeat, eviction, drain.
 
 Records round-trip losslessly through JSON (:func:`to_record` /
 :func:`from_record`): floats survive via shortest-repr, and no field
@@ -114,6 +119,44 @@ class LifecycleRecord:
 
 
 @dataclass(slots=True)
+class JobRecord:
+    """One state change of a service job, as streamed to clients.
+
+    The experiment server (:mod:`repro.service`) appends these to the
+    job's JSONL stream file; ``mirage tail`` renders them live.  The
+    terminal ``"done"`` record's ``payload`` carries the job's full
+    result envelopes, byte-identical to what a direct
+    :class:`~repro.runner.executor.SweepRunner` run would encode.
+    """
+
+    job_id: str
+    event: str                  #: queued|started|unit|done|failed|cancelled
+    experiment: str = ""        #: what was submitted, for humans
+    units_total: int = 0
+    units_done: int = 0
+    priority: int = 0
+    worker_id: str = ""         #: who produced this event, if a worker
+    detail: str = ""            #: error text / coalescing notes
+    payload: dict = field(default_factory=dict)  #: result envelopes
+
+    kind: ClassVar[str] = "job"
+
+
+@dataclass(slots=True)
+class WorkerRecord:
+    """One lifecycle event of a service worker process."""
+
+    worker_id: str
+    event: str                  #: spawned|registered|busy|idle|evicted|drained|exited
+    pid: int = 0
+    unit_digest: str = ""       #: the unit involved, for busy/evicted
+    units_done: int = 0         #: completed by this worker so far
+    detail: str = ""            #: eviction reason, exit status
+
+    kind: ClassVar[str] = "worker"
+
+
+@dataclass(slots=True)
 class RunRecord:
     """End-of-run summary: identity plus final counter totals."""
 
@@ -128,14 +171,15 @@ class RunRecord:
 
 TelemetryEvent = Union[
     IntervalRecord, ArbitrationRecord, MigrationRecord,
-    EnergyRecord, LifecycleRecord, RunRecord,
+    EnergyRecord, LifecycleRecord, JobRecord, WorkerRecord, RunRecord,
 ]
 
 #: Registry used by :func:`from_record` and the ``mirage trace`` command.
 EVENT_TYPES: dict[str, type] = {
     cls.kind: cls
     for cls in (IntervalRecord, ArbitrationRecord, MigrationRecord,
-                EnergyRecord, LifecycleRecord, RunRecord)
+                EnergyRecord, LifecycleRecord, JobRecord, WorkerRecord,
+                RunRecord)
 }
 
 

@@ -37,6 +37,15 @@ DOCUMENTED_SURFACES = [
     "repro.cluster.scheduler",
     "repro.cluster.dynamic",
     "repro.metrics.scenario",
+    "repro.service",
+    "repro.service.protocol",
+    "repro.service.jobs",
+    "repro.service.registry",
+    "repro.service.journal",
+    "repro.service.server",
+    "repro.service.worker",
+    "repro.service.client",
+    "repro.service.cli",
 ]
 
 
@@ -55,7 +64,7 @@ def _public_exports(module):
 class TestDocuments:
     @pytest.mark.parametrize("name", [
         "README.md", "DESIGN.md", "EXPERIMENTS.md",
-        "docs/architecture.md", "docs/api.md",
+        "docs/architecture.md", "docs/api.md", "docs/service.md",
     ])
     def test_document_exists_and_is_substantial(self, name):
         path = REPO / name

@@ -1,0 +1,360 @@
+"""Tests for the experiment service (repro.service).
+
+Covers the queue, coalescing-through-the-cache, heartbeat eviction
+and requeue, worker SIGKILL recovery, graceful drain, journal replay
+after a simulated crash, the HTTP client round-trip, and the
+end-to-end byte-identity of streamed results against a direct
+SweepRunner execution.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import socket
+import threading
+import time
+
+import pytest
+
+from repro.config import CacheConfig, ServiceConfig
+from repro.runner.cache import encode_payload
+from repro.runner.executor import SweepRunner
+from repro.service import (
+    ServerHandle,
+    ServiceClient,
+    ServiceError,
+    SubmitRequest,
+    discover,
+)
+from repro.service.jobs import JobQueue, UnitTask
+from repro.service.journal import Journal, replay
+from repro.service.protocol import (
+    decompose,
+    dump_message,
+    load_message,
+    unit_from_dict,
+    unit_to_dict,
+)
+from repro.service.worker import run_worker
+from repro.runner.units import call_unit
+
+@pytest.fixture(autouse=True)
+def _restore_mirage_env():
+    """Server startup exports cache env vars; keep them test-local."""
+    keys = ("MIRAGE_CACHE_DIR", "MIRAGE_SIM_CACHE",
+            "MIRAGE_SIM_CACHE_DISK", "MIRAGE_SERVICE_DIR")
+    saved = {key: os.environ.get(key) for key in keys}
+    yield
+    for key, value in saved.items():
+        if value is None:
+            os.environ.pop(key, None)
+        else:
+            os.environ[key] = value
+
+
+ECHO = "repro.service.protocol:echo_unit"
+SLEEP = "repro.service.protocol:sleep_unit"
+FLAKY = "repro.service.protocol:flaky_unit"
+
+
+def _config(tmp_path, **kwargs) -> ServiceConfig:
+    kwargs.setdefault("workers", 1)
+    kwargs.setdefault("service_dir", tmp_path / "svc")
+    kwargs.setdefault("cache", CacheConfig(
+        cache_dir=str(tmp_path / "cache"), use_result_cache=True))
+    return ServiceConfig(**kwargs)
+
+
+def _echo_request(tag: str, **kwargs) -> SubmitRequest:
+    return SubmitRequest(target=ECHO, kwargs=(("tag", tag),), **kwargs)
+
+
+def _wait_for(predicate, timeout=20.0, message="condition"):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return
+        time.sleep(0.05)
+    raise AssertionError(f"timed out waiting for {message}")
+
+
+# ----------------------------------------------------------------------
+# Queue ordering
+# ----------------------------------------------------------------------
+def _task(digest, priority=0, seq=0):
+    return UnitTask(digest=digest, unit=call_unit(ECHO, tag=digest),
+                    priority=priority, seq=seq)
+
+
+def test_queue_orders_by_priority_then_submission():
+    queue = JobQueue()
+    queue.push(_task("low", priority=0, seq=1))
+    queue.push(_task("high", priority=5, seq=2))
+    queue.push(_task("mid", priority=2, seq=3))
+    queue.push(_task("tie", priority=5, seq=4))
+    assert [queue.pop() for _ in range(4)] == [
+        "high", "tie", "mid", "low"]
+    assert queue.pop() is None
+
+
+def test_queue_requeue_keeps_original_seq():
+    queue = JobQueue()
+    evicted = _task("evicted", seq=1)
+    queue.push(evicted)
+    queue.push(_task("later", seq=2))
+    assert queue.pop() == "evicted"
+    queue.push(evicted)            # requeue after a worker died
+    assert queue.pop() == "evicted"   # still ahead of "later"
+    assert queue.pop() == "later"
+
+
+def test_queue_discard_and_shadowed_entries():
+    queue = JobQueue()
+    task = _task("a", priority=0, seq=1)
+    queue.push(task)
+    task.priority = 9
+    queue.push(task)               # shadows the stale heap entry
+    assert len(queue) == 1
+    assert queue.pop() == "a"
+    assert queue.pop() is None     # the stale entry is skipped
+    queue.push(task)
+    queue.discard("a")
+    assert queue.pop() is None
+
+
+# ----------------------------------------------------------------------
+# Protocol round-trips
+# ----------------------------------------------------------------------
+def test_unit_dict_round_trip_preserves_digest(tmp_path):
+    from repro.runner.cache import ResultCache
+
+    cache = ResultCache(tmp_path / "cache")
+    from repro.service.protocol import unit_digest
+
+    unit = call_unit(ECHO, tag="x", value=3)
+    again = unit_from_dict(json.loads(json.dumps(unit_to_dict(unit))))
+    assert again == unit
+    assert unit_digest(cache, again) == unit_digest(cache, unit)
+
+
+def test_decompose_validates_names():
+    with pytest.raises(ValueError, match="unknown experiment"):
+        decompose(SubmitRequest(experiments=("nope",)))
+    with pytest.raises(ValueError, match="nothing to run"):
+        decompose(SubmitRequest())
+    units = decompose(SubmitRequest(experiments=("all",), quick=True))
+    from repro.experiments import EXPERIMENTS
+
+    assert len(units) == len(EXPERIMENTS)
+    assert all(u.kind == "call" for u in units)
+
+
+# ----------------------------------------------------------------------
+# Journal
+# ----------------------------------------------------------------------
+def test_journal_replay_tolerates_truncation(tmp_path):
+    path = tmp_path / "journal.jsonl"
+    journal = Journal(path)
+    journal.append({"event": "submit", "id": "j1", "seq": 1,
+                    "priority": 2, "request": {}, "units": [],
+                    "digests": ["d1"]})
+    journal.append({"event": "submit", "id": "j2", "seq": 2,
+                    "request": {}, "units": [], "digests": ["d2"]})
+    journal.append({"event": "state", "id": "j1", "state": "done"})
+    journal.close()
+    with path.open("a") as handle:
+        handle.write('{"event": "state", "id": "j2", "sta')  # crash
+    state = replay(path)
+    assert state.max_job_number == 2
+    assert state.max_seq == 2
+    assert state.jobs["j1"].state == "done"
+    assert [j.job_id for j in state.unfinished()] == ["j2"]
+
+
+# ----------------------------------------------------------------------
+# Server integration (in-process, real worker subprocesses)
+# ----------------------------------------------------------------------
+def test_client_round_trip_and_errors(tmp_path):
+    handle = ServerHandle.start(_config(tmp_path))
+    try:
+        client = ServiceClient(service_dir=tmp_path / "svc")
+        assert discover(tmp_path / "svc") == handle.address
+        health = client.health()
+        assert health["ok"] and health["version"]
+        response = client.submit(_echo_request("round-trip"))
+        job_id = response["job"]["id"]
+        assert response["coalesced"] is False
+        assert client.result(job_id, timeout=60) == [
+            {"value": None, "tag": "round-trip"}]
+        assert client.job(job_id)["state"] == "done"
+        assert any(j["id"] == job_id for j in client.jobs())
+        with pytest.raises(ServiceError, match="no job"):
+            client.job("j999")
+        with pytest.raises(ServiceError, match="unknown experiment"):
+            client.submit(SubmitRequest(experiments=("nope",)))
+    finally:
+        handle.stop(drain=False)
+
+
+def test_concurrent_identical_submissions_coalesce(tmp_path):
+    handle = ServerHandle.start(_config(tmp_path, workers=2))
+    try:
+        client = ServiceClient(service_dir=tmp_path / "svc")
+        request = SubmitRequest(target=SLEEP, args=(0.8,))
+        first = client.submit(request)
+        second = client.submit(request)
+        assert second["coalesced"] is True
+        assert second["job"]["id"] == first["job"]["id"]
+        assert second["job"]["submissions"] == 2
+        job_id = first["job"]["id"]
+        assert client.result(job_id, timeout=60) == [{"slept": 0.8}]
+        stats = client.health()["stats"]
+        assert stats["executions"] == 1      # one execution for both
+        assert stats["coalesced"] == 1
+        # A third, later identical submission is a pure cache hit.
+        third = client.submit(request)
+        assert third["job"]["id"] != job_id
+        assert third["job"]["state"] == "done"
+        assert client.health()["stats"]["executions"] == 1
+    finally:
+        handle.stop(drain=False)
+
+
+def test_heartbeat_timeout_evicts_and_requeues(tmp_path):
+    config = _config(tmp_path, workers=0, heartbeat_interval=0.1,
+                     heartbeat_timeout=0.6)
+    handle = ServerHandle.start(config)
+    try:
+        host, port = handle.address
+        token = json.loads(
+            (tmp_path / "svc" / "server.json").read_text())["token"]
+        client = ServiceClient(service_dir=tmp_path / "svc")
+        job_id = client.submit(_echo_request("evict-me"))["job"]["id"]
+
+        # A scripted worker: registers, takes the unit, then goes
+        # silent (no heartbeats) while "executing" forever.
+        sock = socket.create_connection((host, port))
+        sock.sendall((dump_message(
+            {"type": "hello", "worker_id": "fake", "token": token,
+             "pid": 0}) + "\n").encode())
+        reader = sock.makefile("r")
+        run_message = load_message(reader.readline())
+        assert run_message["type"] == "run"
+
+        _wait_for(lambda: client.health()["stats"]["evictions"] >= 1,
+                  message="eviction")
+        stats = client.health()["stats"]
+        assert stats["requeues"] >= 1
+        sock.close()
+
+        # A healthy worker picks the requeued unit up and finishes it.
+        thread = threading.Thread(
+            target=run_worker, args=(host, port, "healthy", token),
+            kwargs={"heartbeat_interval": 0.1}, daemon=True)
+        thread.start()
+        record = client.wait(job_id, timeout=30)
+        assert record["event"] == "done"
+        events = [r["event"] for r in client.tail(job_id, timeout=10)]
+        assert "requeued" in events
+    finally:
+        handle.stop(drain=False)
+
+
+def test_sigkilled_worker_job_requeues_and_completes(tmp_path):
+    flag = tmp_path / "flaky.flag"
+    config = _config(tmp_path, workers=2, heartbeat_interval=0.1,
+                     heartbeat_timeout=0.8)
+    handle = ServerHandle.start(config)
+    try:
+        client = ServiceClient(service_dir=tmp_path / "svc")
+        request = SubmitRequest(
+            target=FLAKY, args=(str(flag),), kwargs=(("sleep_s", 60.0),))
+        job_id = client.submit(request)["job"]["id"]
+        # The flag file appears once a worker is inside the unit.
+        _wait_for(flag.exists, message="first execution to start")
+        busy = [w for w in client.health()["workers"]
+                if w["state"] == "busy"]
+        assert busy, "a worker should be executing the unit"
+        os.kill(busy[0]["pid"], signal.SIGKILL)
+        record = client.wait(job_id, timeout=60)
+        assert record["event"] == "done"
+        payload = record["payload"]["results"][0]
+        assert payload["value"] == {"attempt": "retry"}
+        stats = client.health()["stats"]
+        assert stats["requeues"] >= 1
+        assert stats["respawns"] >= 1
+    finally:
+        handle.stop(drain=False)
+
+
+def test_graceful_drain_finishes_accepted_work(tmp_path):
+    handle = ServerHandle.start(_config(tmp_path, workers=1))
+    client = ServiceClient(service_dir=tmp_path / "svc")
+    request = SubmitRequest(target=SLEEP, args=(0.6,))
+    job_id = client.submit(request)["job"]["id"]
+    client.shutdown(drain=True)
+    # Draining servers refuse new work immediately...
+    _wait_for(lambda: handle.server._draining, timeout=5,
+              message="drain flag")
+    with pytest.raises(ServiceError):
+        client.submit(_echo_request("rejected"))
+    # ...but finish what they accepted before stopping.
+    _wait_for(handle.server._stopped.is_set, timeout=30,
+              message="drained shutdown")
+    job = handle.server.jobs[job_id]
+    assert job.state == "done"
+    assert not (tmp_path / "svc" / "server.json").exists()
+    handle._teardown()
+
+
+def test_journal_replay_after_crash_resubmits(tmp_path):
+    # Server A accepts a job but has no workers: nothing executes.
+    config_a = _config(tmp_path, workers=0)
+    handle_a = ServerHandle.start(config_a)
+    client = ServiceClient(service_dir=tmp_path / "svc")
+    job_id = client.submit(_echo_request("survive"))["job"]["id"]
+    assert client.job(job_id)["state"] == "queued"
+    handle_a.abort()               # simulated crash: no finalization
+
+    # Server B replays the journal and runs the job to completion.
+    handle_b = ServerHandle.start(_config(tmp_path, workers=1))
+    try:
+        client = ServiceClient(service_dir=tmp_path / "svc")
+        record = client.wait(job_id, timeout=60)
+        assert record["event"] == "done"
+        # Replayed history (including the original queued record) is
+        # visible to late tails, and the id counter moved on.
+        events = [r["event"] for r in client.tail(job_id, timeout=10)]
+        assert events[0] == "queued"
+        assert "requeued" in events
+        new_id = client.submit(_echo_request("after"))["job"]["id"]
+        assert int(new_id[1:]) > int(job_id[1:])
+    finally:
+        handle_b.stop(drain=False)
+
+
+def test_streamed_result_matches_direct_sweeprunner(tmp_path):
+    """The ISSUE's e2e identity: the streamed JSONL result payload is
+    byte-identical to the same units run directly through
+    SweepRunner."""
+    request = SubmitRequest(
+        experiments=("table1",), quick=True, n_mixes=2, seed=7)
+    units = decompose(request)
+
+    handle = ServerHandle.start(_config(tmp_path, workers=2))
+    try:
+        client = ServiceClient(service_dir=tmp_path / "svc")
+        job_id = client.submit(request)["job"]["id"]
+        record = client.wait(job_id, timeout=600)
+        assert record["event"] == "done"
+        streamed = record["payload"]["results"]
+    finally:
+        handle.stop(drain=False)
+
+    direct = [encode_payload(result)
+              for result in SweepRunner(experiment="service").map(units)]
+    canonical = dict(separators=(",", ":"), sort_keys=True)
+    assert (json.dumps(streamed, **canonical)
+            == json.dumps(direct, **canonical))
