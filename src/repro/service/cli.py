@@ -25,7 +25,13 @@ def _serve(argv: list[str]) -> int:
         prog="mirage serve",
         description="Run the experiment job server in the foreground.")
     parser.add_argument("--host", default="127.0.0.1",
-                        help="bind address (default: 127.0.0.1)")
+                        help="bind address (default: 127.0.0.1). "
+                             "Loopback binds trust their clients; on "
+                             "any other bind, mutating endpoints "
+                             "(POST /jobs, POST /shutdown) require "
+                             "the session token from server.json — "
+                             "POST /jobs executes arbitrary call "
+                             "targets, so never expose it unguarded")
     parser.add_argument("--port", type=int, default=0,
                         help="bind port (default: 0 = ephemeral)")
     parser.add_argument("--workers", type=int, default=2, metavar="N",

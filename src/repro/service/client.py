@@ -50,12 +50,30 @@ def discover(service_dir: str | Path | None = None
         return None
 
 
+def _read_token(service_dir: str | Path | None = None) -> str:
+    """The session token from the server address file (or ``""``)."""
+    base = Path(service_dir) if service_dir else default_service_dir()
+    try:
+        data = json.loads((base / "server.json").read_text())
+        return str(data.get("token", ""))
+    except (OSError, json.JSONDecodeError, ValueError):
+        return ""
+
+
 class ServiceClient:
-    """HTTP client for one experiment server."""
+    """HTTP client for one experiment server.
+
+    *token* authenticates mutating requests against servers bound to
+    non-loopback interfaces; when omitted it is read from the same
+    ``server.json`` file used for address discovery (explicit
+    *address* with no *service_dir* sends no token — loopback servers
+    never require one).
+    """
 
     def __init__(self, address: tuple[str, int] | None = None,
                  service_dir: str | Path | None = None,
-                 timeout: float = 30.0):
+                 timeout: float = 30.0, token: str | None = None):
+        discovered = address is None
         if address is None:
             address = discover(service_dir)
             if address is None:
@@ -64,8 +82,19 @@ class ServiceClient:
                 raise ServiceError(
                     f"no server address file under {base} — "
                     f"is `mirage serve` running?")
+        if token is None and (discovered or service_dir is not None):
+            token = _read_token(service_dir)
         self.address = address
         self.timeout = timeout
+        self.token = token or ""
+
+    def _headers(self, with_content: bool = False) -> dict[str, str]:
+        headers: dict[str, str] = {}
+        if with_content:
+            headers["Content-Type"] = "application/json"
+        if self.token:
+            headers["Authorization"] = f"Bearer {self.token}"
+        return headers
 
     # ------------------------------------------------------------------
     def _request(self, method: str, path: str,
@@ -76,8 +105,8 @@ class ServiceClient:
         try:
             payload = json.dumps(body).encode() if body is not None else None
             conn.request(method, path, body=payload,
-                         headers={"Content-Type": "application/json"}
-                         if payload else {})
+                         headers=self._headers(
+                             with_content=payload is not None))
             response = conn.getresponse()
             data = json.loads(response.read() or b"{}")
             if response.status >= 400:
@@ -136,7 +165,8 @@ class ServiceClient:
         conn = http.client.HTTPConnection(
             host, port, timeout=timeout or self.timeout)
         try:
-            conn.request("GET", f"/jobs/{job_id}/stream?from={start}")
+            conn.request("GET", f"/jobs/{job_id}/stream?from={start}",
+                         headers=self._headers())
             response = conn.getresponse()
             if response.status >= 400:
                 data = json.loads(response.read() or b"{}")

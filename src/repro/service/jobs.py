@@ -98,8 +98,13 @@ class Job:
 
     @property
     def units_done(self) -> int:
-        """How many of them have results so far."""
-        return len(self.results)
+        """How many of them have results so far.
+
+        Counted over ``digests`` (not ``results``, which is keyed by
+        digest) so jobs with duplicate units still reach
+        ``units_done == units_total``.
+        """
+        return sum(1 for d in self.digests if d in self.results)
 
     @property
     def finished(self) -> bool:

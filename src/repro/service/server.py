@@ -67,6 +67,22 @@ from repro.service.registry import BUSY, IDLE, WorkerInfo, WorkerRegistry
 from repro.telemetry.events import JobRecord, WorkerRecord
 from repro.telemetry.sinks import JSONLSink, dump_record
 
+#: Per-line buffer limit for the shared listener.  Worker ``result``
+#: lines carry whole encoded result envelopes (detailed-tier CMP
+#: histories run to megabytes), which would blow through asyncio's
+#: default 64 KiB stream limit and kill the session mid-job — so the
+#: listener gets a far larger one, and :meth:`_worker_session` treats
+#: an overrun as a failed unit rather than a retriable disconnect.
+PROTOCOL_LINE_LIMIT = 64 * 1024 * 1024
+
+#: Bind hosts the server treats as trusted (no HTTP auth required).
+_LOOPBACK_HOSTS = ("localhost", "::1")
+
+
+def _is_loopback(host: str) -> bool:
+    """Whether *host* only accepts connections from this machine."""
+    return host in _LOOPBACK_HOSTS or host.startswith("127.")
+
 
 class ExperimentServer:
     """The long-running job server wrapping the ``Experiment`` API.
@@ -129,9 +145,16 @@ class ExperimentServer:
         self.cache_cfg.apply()
         self._trace = JSONLSink(self.dir / "server-trace.jsonl", mode="a")
         self._server = await asyncio.start_server(
-            self._handle_connection, self.config.host, self.config.port)
+            self._handle_connection, self.config.host, self.config.port,
+            limit=PROTOCOL_LINE_LIMIT)
         sock = self._server.sockets[0].getsockname()
         self.address = (sock[0], sock[1])
+        if not _is_loopback(self.config.host):
+            print(f"[serve] WARNING: bound to non-loopback "
+                  f"{self.config.host} — POST /jobs runs arbitrary "
+                  f"call targets, so mutating endpoints now require "
+                  f"the session token from server.json",
+                  file=sys.stderr, flush=True)
         self._write_address_file()
         await self._recover()
         for _ in range(self.config.workers):
@@ -496,7 +519,20 @@ class ExperimentServer:
         await self._dispatch()
         try:
             while True:
-                line = await reader.readline()
+                try:
+                    line = await reader.readline()
+                except ValueError:
+                    # The line overran PROTOCOL_LINE_LIMIT: a result
+                    # this server can never read.  Requeueing would
+                    # loop forever (a respawned worker reproduces the
+                    # same oversized line), so fail the unit instead.
+                    if info.unit_digest:
+                        self._unit_error(
+                            info, info.unit_digest,
+                            "result line exceeded the protocol limit "
+                            f"of {PROTOCOL_LINE_LIMIT} bytes")
+                        await self._dispatch()
+                    break
                 if not line:
                     break
                 try:
@@ -541,7 +577,10 @@ class ExperimentServer:
                             job, "requeued", worker_id=worker_id,
                             detail=f"worker lost ({reason})")
         self._emit_worker(info, "evicted", detail=reason)
-        if (info.spawned and not self._stopping and not self._draining):
+        # Respawn during a drain too: a drain that loses its last
+        # worker would otherwise spin out the whole drain_timeout with
+        # accepted work it can never finish.
+        if info.spawned and not self._stopping:
             self.stats["respawns"] += 1
             self._spawn_worker()
         if not self._stopping:
@@ -602,7 +641,7 @@ class ExperimentServer:
         """Sort one fresh connection into worker vs HTTP handling."""
         try:
             first = await reader.readline()
-        except (ConnectionError, OSError):
+        except (ConnectionError, OSError, ValueError):
             writer.close()
             return
         if not first:
@@ -614,7 +653,9 @@ class ExperimentServer:
                 await self._worker_session(text, reader, writer)
             else:
                 await self._http_session(text, reader, writer)
-        except (ConnectionError, OSError):
+        except (ConnectionError, OSError, EOFError):
+            # EOFError covers asyncio.IncompleteReadError: a client
+            # that sent Content-Length but hung up early.
             pass
         finally:
             try:
@@ -639,11 +680,36 @@ class ExperimentServer:
         length = int(headers.get("content-length", 0) or 0)
         if length:
             body = await reader.readexactly(length)
-        await self._route(method, path, body, writer)
+        await self._route(method, path, body, writer, headers)
+
+    def _authorized(self, headers: dict[str, str]) -> bool:
+        """Whether a request may hit a mutating endpoint.
+
+        Loopback binds trust their clients (anything that can connect
+        can also read ``server.json``).  Any other bind requires the
+        session token — ``POST /jobs`` executes arbitrary call
+        targets, so an open bind without auth would be remote code
+        execution.
+        """
+        if _is_loopback(self.config.host):
+            return True
+        token = self.token.encode()
+        auth = headers.get("authorization", "")
+        if auth.startswith("Bearer ") and secrets.compare_digest(
+                auth[len("Bearer "):].strip().encode(), token):
+            return True
+        return secrets.compare_digest(
+            headers.get("x-mirage-token", "").encode(), token)
 
     async def _route(self, method: str, path: str, body: bytes,
-                     writer) -> None:
+                     writer, headers: dict[str, str]) -> None:
         path, _, query = path.partition("?")
+        if method == "POST" and not self._authorized(headers):
+            await _respond(writer, 403, {
+                "error": "mutating endpoints on a non-loopback bind "
+                         "require the session token (Authorization: "
+                         "Bearer <token> from server.json)"})
+            return
         if method == "GET" and path == "/health":
             await _respond(writer, 200, self.health())
         elif method == "GET" and path == "/jobs":
@@ -747,8 +813,8 @@ def _job_key(digests: list[str]) -> str:
 
 async def _respond(writer, status: int, payload: dict) -> None:
     """Write one JSON response and flush (connection closes after)."""
-    reasons = {200: "OK", 400: "Bad Request", 404: "Not Found",
-               503: "Service Unavailable"}
+    reasons = {200: "OK", 400: "Bad Request", 403: "Forbidden",
+               404: "Not Found", 503: "Service Unavailable"}
     body = json.dumps(payload).encode()
     writer.write((f"HTTP/1.1 {status} {reasons.get(status, 'OK')}\r\n"
                   f"Content-Type: application/json\r\n"

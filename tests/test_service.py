@@ -28,7 +28,7 @@ from repro.service import (
     SubmitRequest,
     discover,
 )
-from repro.service.jobs import JobQueue, UnitTask
+from repro.service.jobs import Job, JobQueue, UnitTask
 from repro.service.journal import Journal, replay
 from repro.service.protocol import (
     decompose,
@@ -122,6 +122,19 @@ def test_queue_discard_and_shadowed_entries():
     queue.push(task)
     queue.discard("a")
     assert queue.pop() is None
+
+
+def test_units_done_counts_duplicate_units():
+    """A job whose decomposition repeats a unit still reports
+    units_done == units_total on completion (results are keyed by
+    digest, digests may repeat)."""
+    unit = call_unit(ECHO, tag="dup")
+    job = Job(job_id="j1", request=SubmitRequest(target=ECHO),
+              digests=["d", "d"], units=[unit, unit])
+    assert (job.units_total, job.units_done) == (2, 0)
+    job.results["d"] = {"kind": "json", "payload": 1}
+    assert job.units_done == 2
+    assert job.info()["units_done"] == job.info()["units_total"] == 2
 
 
 # ----------------------------------------------------------------------
@@ -289,6 +302,46 @@ def test_sigkilled_worker_job_requeues_and_completes(tmp_path):
         handle.stop(drain=False)
 
 
+def test_large_result_payload_round_trips(tmp_path):
+    """Worker result lines bigger than asyncio's default 64 KiB
+    stream limit survive the JSONL protocol (the listener runs with
+    PROTOCOL_LINE_LIMIT)."""
+    handle = ServerHandle.start(_config(tmp_path))
+    try:
+        client = ServiceClient(service_dir=tmp_path / "svc")
+        big = "x" * 300_000          # ~300 KB once JSON-encoded
+        request = SubmitRequest(
+            target=ECHO, kwargs=(("tag", "big"), ("value", big)))
+        job_id = client.submit(request)["job"]["id"]
+        assert client.result(job_id, timeout=60) == [
+            {"value": big, "tag": "big"}]
+    finally:
+        handle.stop(drain=False)
+
+
+def test_oversized_result_line_fails_unit_not_loop(tmp_path,
+                                                   monkeypatch):
+    """A result line beyond PROTOCOL_LINE_LIMIT fails the unit (and
+    its jobs) instead of evict/requeue-looping forever."""
+    import repro.service.server as server_mod
+
+    monkeypatch.setattr(server_mod, "PROTOCOL_LINE_LIMIT", 2048)
+    handle = ServerHandle.start(_config(tmp_path))
+    try:
+        client = ServiceClient(service_dir=tmp_path / "svc")
+        request = SubmitRequest(
+            target=ECHO, kwargs=(("tag", "huge"), ("value", "y" * 8192)))
+        job_id = client.submit(request)["job"]["id"]
+        record = client.wait(job_id, timeout=60)
+        assert record["event"] == "failed"
+        assert "protocol limit" in record["detail"]
+        # The server survives and keeps serving.
+        assert client.health()["ok"]
+        assert client.job(job_id)["state"] == "failed"
+    finally:
+        handle.stop(drain=False)
+
+
 def test_graceful_drain_finishes_accepted_work(tmp_path):
     handle = ServerHandle.start(_config(tmp_path, workers=1))
     client = ServiceClient(service_dir=tmp_path / "svc")
@@ -307,6 +360,81 @@ def test_graceful_drain_finishes_accepted_work(tmp_path):
     assert job.state == "done"
     assert not (tmp_path / "svc" / "server.json").exists()
     handle._teardown()
+
+
+def test_drain_respawns_dead_worker_and_finishes(tmp_path):
+    """Losing the only worker mid-drain must not strand the queue:
+    respawn stays on while draining (only _stopping suppresses it),
+    so the drain completes instead of spinning out its timeout."""
+    flag = tmp_path / "flaky.flag"
+    config = _config(tmp_path, workers=1, heartbeat_interval=0.1,
+                     heartbeat_timeout=0.8, drain_timeout=60.0)
+    handle = ServerHandle.start(config)
+    client = ServiceClient(service_dir=tmp_path / "svc")
+    request = SubmitRequest(
+        target=FLAKY, args=(str(flag),), kwargs=(("sleep_s", 60.0),))
+    job_id = client.submit(request)["job"]["id"]
+    _wait_for(flag.exists, message="first execution to start")
+    busy = [w for w in client.health()["workers"]
+            if w["state"] == "busy"]
+    assert busy, "a worker should be executing the unit"
+    client.shutdown(drain=True)
+    _wait_for(lambda: handle.server._draining, timeout=5,
+              message="drain flag")
+    os.kill(busy[0]["pid"], signal.SIGKILL)
+    # The respawned worker retries the unit (fast path: flag exists),
+    # and the drain finishes well before its 60 s budget.
+    _wait_for(handle.server._stopped.is_set, timeout=40,
+              message="drained shutdown after worker loss")
+    job = handle.server.jobs[job_id]
+    assert job.state == "done"
+    assert handle.server.stats["respawns"] >= 1
+    handle._teardown()
+
+
+def test_non_loopback_bind_requires_token_for_mutations(tmp_path):
+    """POST /jobs executes arbitrary call targets, so a non-loopback
+    bind demands the session token; reads stay open."""
+    config = _config(tmp_path, workers=0, host="0.0.0.0")
+    handle = ServerHandle.start(config)
+    try:
+        port = handle.address[1]
+        token = json.loads(
+            (tmp_path / "svc" / "server.json").read_text())["token"]
+        # Explicit address, no service dir: the client has no token.
+        anon = ServiceClient(address=("127.0.0.1", port))
+        assert anon.token == ""
+        assert anon.health()["ok"]               # reads stay open
+        assert anon.jobs() == []
+        with pytest.raises(ServiceError, match="session token"):
+            anon.submit(_echo_request("forbidden"))
+        with pytest.raises(ServiceError, match="session token"):
+            anon.shutdown()
+        # The token (explicit or discovered) unlocks mutations.
+        authed = ServiceClient(address=("127.0.0.1", port), token=token)
+        assert authed.submit(_echo_request("ok-explicit"))["job"]["id"]
+        discovered = ServiceClient(service_dir=tmp_path / "svc",
+                                   address=("127.0.0.1", port))
+        assert discovered.token == token
+        assert discovered.submit(_echo_request("ok-found"))["job"]["id"]
+    finally:
+        handle.stop(drain=False)
+
+
+def test_truncated_http_request_is_harmless(tmp_path):
+    """A client that advertises Content-Length then hangs up must not
+    wedge the server (readexactly's IncompleteReadError is handled)."""
+    handle = ServerHandle.start(_config(tmp_path, workers=0))
+    try:
+        host, port = handle.address
+        sock = socket.create_connection((host, port))
+        sock.sendall(b"POST /jobs HTTP/1.1\r\n"
+                     b"Content-Length: 500\r\n\r\nshort")
+        sock.close()
+        client = ServiceClient(service_dir=tmp_path / "svc")
+        assert client.health()["ok"]
+    finally:
+        handle.stop(drain=False)
 
 
 def test_journal_replay_after_crash_resubmits(tmp_path):
