@@ -24,6 +24,9 @@ never change simulation output:
 * ``--disk-smoke`` — two *separate processes* against one disk slice
   store (``MIRAGE_SIM_CACHE_DISK=1``): the second replays what the
   first simulated and must print the identical table.
+* ``--backend-smoke`` — ``backend-matrix --quick`` twice: every
+  registered backend must appear as a leg row and the two runs must
+  print byte-identical tables (determinism across the whole roster).
 """
 
 from __future__ import annotations
@@ -124,6 +127,38 @@ def disk_smoke(src: Path, out: Path, experiments: list[str]) -> None:
               f"byte-identical ({len(cold.splitlines())} lines)")
 
 
+#: Backend names whose leg rows ``--backend-smoke`` requires in the
+#: ``backend-matrix`` output (the built-in registry roster).
+BACKEND_ROSTER = ("analytic", "detailed", "cgooo", "ldt")
+
+
+def backend_smoke(src: Path, out: Path) -> None:
+    """Run ``backend-matrix --quick`` twice; require the full roster
+    in the output and byte-identical tables between the runs.
+
+    One mode covers two promises at once: every built-in backend
+    still registers and runs under the unchanged engine, and the
+    whole matrix (cycle tiers included) is deterministic.
+    """
+    first = capture("backend-matrix", src)
+    second = capture("backend-matrix", src)
+    (out / "backend-matrix.first.txt").write_text(first)
+    (out / "backend-matrix.second.txt").write_text(second)
+    missing = [name for name in BACKEND_ROSTER if name not in first]
+    if missing:
+        raise SystemExit(
+            f"capture_tables: backend-matrix output is missing leg "
+            f"rows for: {', '.join(missing)} (see {out})")
+    if first != second:
+        raise SystemExit(
+            "capture_tables: backend-matrix printed different tables "
+            f"on two identical runs — a backend is nondeterministic "
+            f"(see {out})")
+    print(f"[backend-smoke] backend-matrix: {len(BACKEND_ROSTER)} "
+          f"backends present, two runs byte-identical "
+          f"({len(first.splitlines())} lines)")
+
+
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point: capture every experiment into ``--out``."""
     parser = argparse.ArgumentParser(description=__doc__)
@@ -150,6 +185,11 @@ def main(argv: list[str] | None = None) -> int:
         help="run the detailed tier in two processes sharing one disk "
              "slice store (MIRAGE_SIM_CACHE_DISK=1) and fail unless "
              "the warm process reproduces the cold table")
+    parser.add_argument(
+        "--backend-smoke", action="store_true",
+        help="run backend-matrix --quick twice and fail unless every "
+             "registered backend appears and the runs are "
+             "byte-identical")
     args = parser.parse_args(argv)
 
     src = Path(args.src).resolve()
@@ -168,6 +208,9 @@ def main(argv: list[str] | None = None) -> int:
     if args.disk_smoke:
         gate = [e for e in args.experiments if e in SIMCACHE_EXPERIMENTS]
         disk_smoke(src, out, gate or list(SIMCACHE_EXPERIMENTS))
+        return 0
+    if args.backend_smoke:
+        backend_smoke(src, out)
         return 0
     for experiment in args.experiments:
         text = capture(experiment, src)

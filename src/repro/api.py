@@ -17,8 +17,12 @@ The facade groups six surfaces:
 * **building blocks** — workloads, app models, cluster configs;
 * **simulation** — :class:`CMPSystem` (interval tier),
   :class:`DetailedMirageCluster` (cycle tier), the batch-first
-  :class:`ExecutionBackend` protocol and its backends, plus the
-  process-sharded runner in :mod:`repro.cmp.sharded`;
+  :class:`ExecutionBackend` protocol and its backends, the backend
+  registry (:func:`register_backend` / :func:`get_backend` /
+  :func:`list_backends` over every flavour: analytic, detailed,
+  CG-OoO, load-delay tracking), migration pricing
+  (:func:`make_cost_model`), plus the process-sharded runner in
+  :mod:`repro.cmp.sharded`;
 * **arbitration** — the five paper arbitrators;
 * **infrastructure** — telemetry, the sweep runner, and every cache
   layer behind one :class:`CacheConfig`;
@@ -42,12 +46,19 @@ from repro.arbiter import (
 )
 from repro.bench import compare_reports, run_benchmarks
 from repro.characterize import AppModel, analytic_model
-from repro.cmp import ClusterConfig
+from repro.cmp import (
+    ClusterConfig,
+    StateTransferMigrationModel,
+    make_cost_model,
+)
 from repro.cmp.detailed import (
+    CGOoOBackend,
     DetailedBackend,
     DetailedMirageCluster,
     DetailedResult,
+    LoadDelayBackend,
 )
+from repro.cores import CGOoOCore
 from repro.cmp.sharded import (
     ClusterSpec,
     ShardedDetailedBackend,
@@ -59,8 +70,15 @@ from repro.config import CacheConfig, ServiceConfig, default_cache_dir
 from repro.engine import (
     AnalyticBackend,
     AppViewBatch,
+    BackendBundle,
+    BackendInfo,
+    BackendSpec,
     ExecutionBackend,
     IntervalEngine,
+    backend_names,
+    get_backend,
+    list_backends,
+    register_backend,
 )
 from repro.experiments import EXPERIMENTS, ExperimentParams
 from repro.runner import ResultCache, SweepRunner, call_unit, cmp_unit
@@ -84,11 +102,14 @@ __all__ = [
     "ALL_BENCHMARKS", "AppModel", "ClusterConfig", "WorkloadMix",
     "analytic_model", "make_benchmark", "standard_mixes",
     # simulation
-    "AnalyticBackend", "AppViewBatch", "CMPResult", "CMPSystem",
-    "ClusterSpec", "DetailedBackend", "DetailedMirageCluster",
-    "DetailedResult", "ExecutionBackend", "IntervalEngine",
-    "ShardOutcome", "ShardedDetailedBackend", "run_cluster_spec",
-    "run_homo",
+    "AnalyticBackend", "AppViewBatch", "BackendBundle", "BackendInfo",
+    "BackendSpec", "CGOoOBackend", "CGOoOCore", "CMPResult",
+    "CMPSystem", "ClusterSpec", "DetailedBackend",
+    "DetailedMirageCluster", "DetailedResult", "ExecutionBackend",
+    "IntervalEngine", "LoadDelayBackend", "ShardOutcome",
+    "ShardedDetailedBackend", "StateTransferMigrationModel",
+    "backend_names", "get_backend", "list_backends", "make_cost_model",
+    "register_backend", "run_cluster_spec", "run_homo",
     # arbitration
     "FairArbitrator", "MaxSTPArbitrator", "SCMPKIArbitrator",
     "SCMPKIFairArbitrator", "SCMPKIMaxSTPArbitrator",

@@ -209,6 +209,74 @@ def bench_sim_cache(ctx: BenchContext) -> None:
 
 
 @register(
+    "cgooo-slice", tier="detailed",
+    description="CGOoOCore block scheduling: cold schedule selection "
+                "then SC-memoized replay of the same stream",
+)
+def bench_cgooo_slice(ctx: BenchContext) -> None:
+    """The CG-OoO consumer's block-window loop, cold and memoized.
+
+    The first run populates the Schedule Cache with block schedules
+    (the bw-select path); the second run over an identical stream
+    replays them (the sc-read path).  Timing is deterministic on both
+    paths, so the probe asserts identical cycle counts before
+    reporting — a divergence means the memo shortcut changed timing.
+    """
+    from repro.cores import CGOoOCore
+    from repro.memory import MemoryHierarchy
+    from repro.schedule import ScheduleCache
+    from repro.workloads import make_benchmark
+
+    n = ctx.size(30_000, 8_000)
+    with ctx.telemetry.profiler.time("setup"):
+        bench = make_benchmark("hmmer", seed=2)
+        sc = ScheduleCache(32 * 1024)
+    # Each leg gets a private hierarchy: only the Schedule Cache is
+    # shared, so any cycle difference is the memo shortcut's fault.
+    with ctx.telemetry.profiler.time("cold"):
+        cold = CGOoOCore(MemoryHierarchy().core_view(0), sc).run(
+            bench.stream(), n)
+    bench = make_benchmark("hmmer", seed=2)
+    with ctx.telemetry.profiler.time("memoized"):
+        warm = CGOoOCore(MemoryHierarchy().core_view(0), sc).run(
+            bench.stream(), n)
+    if warm.cycles != cold.cycles:
+        raise RuntimeError("memoized CG-OoO run diverged from cold")
+    counters = ctx.telemetry.counters
+    counters.merge(cold.stats.counters(prefix="cold."))
+    counters.merge(warm.stats.counters(prefix="warm."))
+    counters.merge(sc.stats.counters(prefix="sc."))
+
+
+@register(
+    "ldt-issue", tier="detailed",
+    description="Load-delay-tracking InO issue policy against the "
+                "stall baseline on one memory-bound stream",
+)
+def bench_ldt_issue(ctx: BenchContext) -> None:
+    """Stall vs LDT issue over the same stream, same hierarchy shape."""
+    from repro.cores import InOrderCore, LDT_PARAMS
+    from repro.memory import MemoryHierarchy
+    from repro.workloads import make_benchmark
+
+    n = ctx.size(30_000, 8_000)
+    with ctx.telemetry.profiler.time("setup"):
+        bench = make_benchmark("mcf", seed=2)
+    with ctx.telemetry.profiler.time("stall"):
+        stall = InOrderCore(MemoryHierarchy().core_view(0)).run(
+            bench.stream(), n)
+    bench = make_benchmark("mcf", seed=2)
+    with ctx.telemetry.profiler.time("ldt"):
+        ldt = InOrderCore(MemoryHierarchy().core_view(0),
+                          params=LDT_PARAMS).run(bench.stream(), n)
+    counters = ctx.telemetry.counters
+    counters.merge(stall.stats.counters(prefix="stall."))
+    counters.merge(ldt.stats.counters(prefix="ldt."))
+    counters.bump("bench.ldt_speedup_milli",
+                  round(1000 * ldt.ipc / max(1e-9, stall.ipc)))
+
+
+@register(
     "interval-engine", tier="interval",
     description="IntervalEngine over AnalyticBackend: one arbitrated "
                 "8-app CMP run through the four-phase pipeline",

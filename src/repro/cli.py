@@ -56,6 +56,18 @@ def _print_listing() -> None:
           f"shutdown)")
 
 
+def _print_backends() -> None:
+    """The execution-backend roster (``mirage list --backends``)."""
+    from repro.engine.registry import list_backends
+
+    infos = list_backends()
+    width = max(len(info.name) for info in infos)
+    tier_width = max(len(info.tier) for info in infos)
+    for info in infos:
+        print(f"{info.name:<{width}}  {info.tier:<{tier_width}}  "
+              f"{info.description}")
+
+
 #: ``mirage trace --kind`` choices: the record kinds with a table view.
 TRACE_KINDS = ("interval", "migration", "arbitration", "energy",
                "lifecycle", "run")
@@ -390,6 +402,12 @@ def main(argv: list[str] | None = None) -> int:
              "policy (round-robin, least-loaded, sc-mpki)",
     )
     parser.add_argument(
+        "--backends", nargs="?", const="*", metavar="NAMES",
+        help="with 'mirage backend-matrix': comma-separated backend "
+             "names to cross-validate (bare flag = all registered); "
+             "with 'mirage list': print the backend roster instead",
+    )
+    parser.add_argument(
         "--sim-cache", dest="sim_cache", action="store_true",
         default=None,
         help="memoize detailed-tier slices in the process-wide "
@@ -424,7 +442,10 @@ def main(argv: list[str] | None = None) -> int:
     ).apply()
 
     if args.list or args.experiment == "list":
-        _print_listing()
+        if args.backends is not None:
+            _print_backends()
+        else:
+            _print_listing()
         return 0
     if args.experiment is None:
         parser.error("an experiment name (or 'all' / 'list') is required")
@@ -444,6 +465,28 @@ def main(argv: list[str] | None = None) -> int:
             f"choose from: {known} (or run 'mirage list')")
     if args.jobs < 1:
         parser.error("--jobs must be >= 1")
+
+    backend_overrides = {}
+    if args.backends is not None:
+        if args.experiment != "backend-matrix":
+            parser.error("--backends only makes sense with 'mirage "
+                         "backend-matrix' (or 'mirage list --backends')")
+        if args.backends != "*":
+            # Resolve each name now so a typo fails with the registry
+            # roster before any work unit is scheduled.
+            from repro.engine.registry import get_backend
+
+            chosen = tuple(
+                part.strip() for part in args.backends.split(",")
+                if part.strip())
+            if not chosen:
+                parser.error("--backends got an empty selection")
+            for backend_name in chosen:
+                try:
+                    get_backend(backend_name)
+                except ValueError as exc:
+                    parser.error(str(exc))
+            backend_overrides["backends"] = chosen
 
     scenario_overrides = {}
     if (args.shape is not None or args.clusters is not None
@@ -491,7 +534,9 @@ def main(argv: list[str] | None = None) -> int:
         )
         print(f"=== {name} ===")
         start = time.time()
-        overrides = scenario_overrides if name == "scenario" else {}
+        overrides = (scenario_overrides if name == "scenario"
+                     else backend_overrides if name == "backend-matrix"
+                     else {})
         result = exp.run(params, **overrides)
         exp.print_table(result)
         if args.export:

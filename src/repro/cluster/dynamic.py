@@ -27,7 +27,7 @@ from dataclasses import dataclass, field
 
 from repro.cluster.scheduler import Placement, place_scenario
 from repro.cmp.config import ClusterConfig, SIM_SCALE
-from repro.cmp.migration import MigrationCostModel
+from repro.cmp.migration import MigrationCostModel, make_cost_model
 from repro.cmp.system import CMPResult, fold_result
 from repro.energy.model import CoreEnergyModel
 from repro.engine import (
@@ -166,7 +166,7 @@ class DynamicCluster:
         self.arbitrator = arbitrator
         self.label = label or config.name
         self.telemetry = telemetry or Telemetry()
-        self.migration = MigrationCostModel(config)
+        self.migration = make_cost_model(config)
         self.backend = AnalyticBackend(self.migration,
                                        vectorize=vectorize)
         self.summaries: list[AppRunSummary] = []

@@ -38,8 +38,8 @@ from functools import lru_cache
 from repro import simcache
 from repro.arbiter.base import Arbitrator
 from repro.cmp.config import ClusterConfig
-from repro.cmp.migration import MigrationCostModel
-from repro.cores import OinOCore, OutOfOrderCore
+from repro.cmp.migration import MigrationCostModel, make_cost_model
+from repro.cores import LDT_PARAMS, CGOoOCore, OinOCore, OutOfOrderCore
 from repro.energy.model import CoreEnergyModel
 from repro.engine import (
     ArbitrationPhase,
@@ -142,6 +142,12 @@ class DetailedBackend(ExecutionBackend):
     """
 
     name = "detailed"
+    #: ExecOutcome/energy kind for consumer-side slices; subclasses
+    #: that swap the consumer core model override it alongside
+    #: :meth:`_make_consumer`.
+    consumer_kind = "oino"
+    #: Telemetry counter prefix for consumer-slice stats.
+    consumer_counter_prefix = "ino."
 
     def __init__(
         self,
@@ -179,13 +185,13 @@ class DetailedBackend(ExecutionBackend):
                 stream=stream,
                 sc=sc,
                 recorder=ScheduleRecorder(sc),
-                consumer=OinOCore(self.hier.core_view(i), sc),
+                consumer=self._make_consumer(self.hier.core_view(i), sc),
             ))
         # Cost accounting for migrations, on a private bus: the real
         # transfer stays on the cluster's shared bus below (so L1<->L2
         # contention is unchanged); this model prices each event with
         # the same breakdown the interval tier reports.
-        self.migration = MigrationCostModel(config)
+        self.migration = make_cost_model(config)
         self.sc_bytes_transferred = 0
         self._pending: list[bool | None] = [None] * len(benchmarks)
         # Logical-state snapshot cache (memo on only).  Maps a slot —
@@ -199,6 +205,16 @@ class DetailedBackend(ExecutionBackend):
         # never re-walks or rebuilds the big tables per slice.
         self._snap_cache: dict[object, tuple] = {}
         self._lagging: set[object] = set()
+
+    def _make_consumer(self, memory, sc: ScheduleCache):
+        """Build one consumer core; the subclass variation point.
+
+        The returned core must expose the shared core-model contract:
+        ``run(stream, n)``, ``state_snapshot``/``state_restore``, and
+        :class:`~repro.cores.base.CoreStats` counters (including the
+        SC hit/miss counts the arbitrator's SC-MPKI signal reads).
+        """
+        return OinOCore(memory, sc)
 
     # -- ExecutionBackend ----------------------------------------------
     def migrate(self, ctx: EngineContext, index: int, *,
@@ -318,7 +334,7 @@ class DetailedBackend(ExecutionBackend):
         else:
             core_state = self._snap(("core", index))
         return (
-            app.on_ooo, index, self.slice_instructions,
+            self.name, app.on_ooo, index, self.slice_instructions,
             self.sc_capacity,
             cursor.fingerprint, cursor.pos,
             app.sc_mpki_ino_last, app.sc_mpki_ooo_last,
@@ -385,8 +401,9 @@ class DetailedBackend(ExecutionBackend):
             result = app.consumer.run(window, n)
             app.sc_mpki_ino_last = result.stats.sc_mpki()
             app.intervals_since_ooo += 1
-            counters = result.stats.counters(prefix="ino.")
-            kind = "oino"
+            counters = result.stats.counters(
+                prefix=self.consumer_counter_prefix)
+            kind = self.consumer_kind
             memo_frac = result.stats.memoized_fraction
             sc_mpki = app.sc_mpki_ino_last
         telemetry.counters.merge(counters)
@@ -520,13 +537,63 @@ class DetailedBackend(ExecutionBackend):
                 ("core", index) if to_ooo else "pmem", None)
 
 
+class CGOoOBackend(DetailedBackend):
+    """Cycle-level substrate with CG-OoO consumer cores.
+
+    Identical cluster physics to :class:`DetailedBackend` — shared
+    hierarchy, one producer OoO, SC contents crossing the bus on
+    migration — but each consumer is a
+    :class:`~repro.cores.cgooo.CGOoOCore`: block-granularity
+    scheduling windows instead of the OinO replay mode.  The SC serves
+    as the block-schedule memo, so the arbitrator's SC-MPKI signal
+    stays live, and consumer slices are billed at the coarser-grain
+    ``"cgooo"`` energy accounting.
+    """
+
+    name = "cgooo"
+    consumer_kind = "cgooo"
+    consumer_counter_prefix = "cgooo."
+
+    def _make_consumer(self, memory, sc: ScheduleCache):
+        """A block-level CG-OoO core over the shared substrate."""
+        return CGOoOCore(memory, sc)
+
+
+class LoadDelayBackend(DetailedBackend):
+    """Cycle-level substrate with load-delay-tracking consumers.
+
+    The consumers are still OinO cores (same SC replay mode, same
+    ``"oino"`` energy accounting) but run the ``issue_policy="ldt"``
+    pipeline: load-dependents park in a small delay queue instead of
+    head-of-line-blocking the in-order issue stage.
+    """
+
+    name = "ldt"
+    consumer_counter_prefix = "ldt."
+
+    def _make_consumer(self, memory, sc: ScheduleCache):
+        """An OinO core with the load-delay-tracking issue policy."""
+        return OinOCore(memory, sc, params=LDT_PARAMS)
+
+
+#: Cycle-tier backend classes selectable by name (the detailed half of
+#: the :mod:`repro.engine.registry` roster).
+CYCLE_BACKENDS: dict[str, type[DetailedBackend]] = {
+    "detailed": DetailedBackend,
+    "cgooo": CGOoOBackend,
+    "ldt": LoadDelayBackend,
+}
+
+
 class DetailedMirageCluster:
     """n consumer OinO cores + 1 producer OoO, cycle-level.
 
     A thin shell over :class:`~repro.engine.loop.IntervalEngine` with
     the :class:`DetailedBackend` substrate — the same four phases, the
     same arbitration views, and the same telemetry paths as the
-    interval tier's :class:`~repro.cmp.system.CMPSystem`.
+    interval tier's :class:`~repro.cmp.system.CMPSystem`.  ``backend``
+    selects the consumer core model by registry name
+    (:data:`CYCLE_BACKENDS`: ``"detailed"``, ``"cgooo"``, ``"ldt"``).
     """
 
     def __init__(
@@ -539,7 +606,14 @@ class DetailedMirageCluster:
         energy_model: CoreEnergyModel | None = None,
         telemetry: Telemetry | None = None,
         sim_cache: "bool | simcache.SliceMemo | None" = None,
+        backend: str = "detailed",
+        migration_cost_model: str = "l1-flush",
     ):
+        backend_cls = CYCLE_BACKENDS.get(backend)
+        if backend_cls is None:
+            known = ", ".join(sorted(CYCLE_BACKENDS))
+            raise ValueError(
+                f"unknown cycle backend {backend!r} — one of: {known}")
         self.arbitrator = arbitrator
         self.telemetry = telemetry or Telemetry()
         self.energy_model = energy_model or CoreEnergyModel()
@@ -548,8 +622,9 @@ class DetailedMirageCluster:
             n_producers=1,
             mirage=True,
             sc_capacity_bytes=sc_capacity or 8 * 1024,
+            migration_cost_model=migration_cost_model,
         )
-        self.backend = DetailedBackend(
+        self.backend = backend_cls(
             benchmarks, config=config, sc_capacity=sc_capacity,
             slice_instructions=slice_instructions, sim_cache=sim_cache)
         self.apps = self.backend.apps

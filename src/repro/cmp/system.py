@@ -22,7 +22,7 @@ from dataclasses import dataclass, field
 from repro.arbiter.base import AppView, Arbitrator
 from repro.characterize.phase_model import AppModel
 from repro.cmp.config import ClusterConfig
-from repro.cmp.migration import MigrationCostModel
+from repro.cmp.migration import MigrationCostModel, make_cost_model
 from repro.energy.model import CoreEnergyModel
 from repro.engine import (
     AnalyticBackend,
@@ -160,7 +160,7 @@ class CMPSystem:
         self.apps = [AppState(model=m) for m in apps]
         self.arbitrator = arbitrator
         self.energy_model = energy_model or CoreEnergyModel()
-        self.migration = MigrationCostModel(config)
+        self.migration = make_cost_model(config)
         self.telemetry = telemetry or Telemetry()
         self.record_history = record_history
         self._history_sink: MemorySink | None = None

@@ -85,12 +85,21 @@ class CacheConfig:
             the ``MIRAGE_SIM_CACHE`` environment (default on).
         sim_cache_disk: persist memoized slices to disk; ``None``
             follows ``MIRAGE_SIM_CACHE_DISK`` (default off).
+        backend: the selected registry backend name (see
+            :func:`repro.engine.registry.get_backend`); folded into
+            every result-cache key so entries from different backends
+            never collide.  ``None`` = the default backend pair.
+        migration_cost_model: the selected migration pricing (see
+            :data:`repro.cmp.migration.MIGRATION_COST_MODELS`), also
+            folded into the cache key.  ``None`` = ``"l1-flush"``.
     """
 
     cache_dir: str | Path | None = None
     use_result_cache: bool = True
     sim_cache: bool | None = None
     sim_cache_disk: bool | None = None
+    backend: str | None = None
+    migration_cost_model: str | None = None
 
     @classmethod
     def from_env(cls) -> "CacheConfig":
@@ -135,7 +144,17 @@ class CacheConfig:
             return None
         from repro.runner.cache import ResultCache
 
-        return ResultCache(self.cache_dir)
+        if self.backend is not None:
+            # Resolve through the registry so a typo surfaces here as
+            # a roster-listing ValueError, not as a silent cache key.
+            from repro.engine.registry import get_backend
+
+            get_backend(self.backend)
+        return ResultCache(
+            self.cache_dir,
+            core_backend=self.backend,
+            cost_model=self.migration_cost_model,
+        )
 
 
 @dataclass

@@ -12,6 +12,14 @@ configuration, chosen so issue schedules transfer directly):
   the OinO mode: traces that hit in the Schedule Cache issue in their
   recorded OoO order (atomically, with a replay LSQ and expanded PRF);
   misses and misspeculations fall back to program order.
+* :class:`~repro.cores.cgooo.CGOoOCore` — the coarse-grain OoO
+  comparison point: block-granularity scheduling windows, dataflow
+  issue within a block, a short ring of outstanding blocks across.
+
+The in-order machines additionally accept
+``CoreParams(issue_policy="ldt")`` (see :data:`LDT_PARAMS`): per-load
+delay tracking parks load-dependents in a small queue so independent
+younger instructions keep issuing, instead of blanket stall-on-use.
 
 The models are *dataflow-slot* simulators: one pass per instruction
 computes fetch/issue/complete/commit cycles subject to machine width,
@@ -20,12 +28,15 @@ redirects, rather than iterating cycle by cycle (see DESIGN.md §5).
 """
 
 from repro.cores.base import CoreResult, CoreStats, EnergyEvents
+from repro.cores.cgooo import CGOoOCore
 from repro.cores.functional_units import FUPool, SlotPool, fu_type_for
 from repro.cores.inorder import InOrderCore
 from repro.cores.oino import OinOCore
 from repro.cores.ooo import OutOfOrderCore
 from repro.cores.params import (
+    CGOOO_PARAMS,
     INO_PARAMS,
+    LDT_PARAMS,
     OOO_PARAMS,
     CoreParams,
 )
@@ -34,6 +45,8 @@ __all__ = [
     "CoreParams",
     "OOO_PARAMS",
     "INO_PARAMS",
+    "LDT_PARAMS",
+    "CGOOO_PARAMS",
     "CoreResult",
     "CoreStats",
     "EnergyEvents",
@@ -43,4 +56,5 @@ __all__ = [
     "OutOfOrderCore",
     "InOrderCore",
     "OinOCore",
+    "CGOoOCore",
 ]

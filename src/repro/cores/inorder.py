@@ -78,6 +78,13 @@ class InOrderCore:
         # `mem_inflight` older has completed (hits are unconstrained).
         miss_ring: list[int] = [0] * p.mem_inflight
         misses = 0
+        # Load-delay tracking (issue_policy="ldt"): registers produced
+        # by loads still in flight, and the small queue of parked
+        # load-dependents.  Empty structures under the default policy.
+        ldt = p.issue_policy == "ldt"
+        load_ready: dict[int, int] = {}
+        ldt_ring: list[int] = [0] * p.ldt_queue
+        parked = 0
 
         fetch_cycle = start_cycle
         fetched_in_cycle = 0
@@ -116,10 +123,16 @@ class InOrderCore:
             earliest = fetch_cycle + p.fetch_to_issue
             if earliest < last_issue:
                 earliest = last_issue
+            dispatch = earliest
+            load_wait = 0
             for src in insn.srcs:
                 t = reg_ready.get(src, 0)
                 if t > earliest:
                     earliest = t
+                if ldt:
+                    lt = load_ready.get(src, 0)
+                    if lt > load_wait:
+                        load_wait = lt
             energy.bump("rf_read", len(insn.srcs))
             if insn.is_load:
                 dep = store_line_ready.get(insn.mem_addr >> _LINE_SHIFT, 0)
@@ -144,7 +157,20 @@ class InOrderCore:
                         earliest = slot
 
             issue = fus.issue_at(insn.opclass, earliest, insn.base_latency)
-            last_issue = issue
+            if ldt and issue > dispatch and load_wait > dispatch:
+                # The binding stall is an outstanding load: park this
+                # instruction in the delay queue and keep the in-order
+                # issue floor at its dispatch point so independent
+                # younger instructions continue to flow.  A full queue
+                # degrades gracefully to stall-on-use (the ring slot
+                # becomes the floor).
+                slot = ldt_ring[parked % p.ldt_queue]
+                last_issue = dispatch if slot <= dispatch else slot
+                ldt_ring[parked % p.ldt_queue] = issue + insn.base_latency
+                parked += 1
+                energy.bump("lsq")
+            else:
+                last_issue = issue
             energy.bump(fu_type_for(insn.opclass))
 
             # ---------------- complete ----------------
@@ -159,6 +185,11 @@ class InOrderCore:
             if insn.dst is not None:
                 reg_ready[insn.dst] = complete
                 energy.bump("rf_write")
+                if ldt:
+                    if insn.is_load:
+                        load_ready[insn.dst] = complete
+                    else:
+                        load_ready.pop(insn.dst, None)
             if complete > last_complete:
                 last_complete = complete
 

@@ -121,6 +121,12 @@ class OinOCore:
         self._replay_ring = [0] * OINO_REPLAY_LSQ_ENTRIES
         self._misses = 0
         self._replay_misses = 0
+        # Load-delay tracking (issue_policy="ldt"), program-order mode
+        # only: replayed traces already issue in recorded OoO order.
+        self._ldt = p.issue_policy == "ldt"
+        self._load_ready = {}
+        self._ldt_ring = [0] * p.ldt_queue
+        self._parked = 0
         self._fetch_cycle = start_cycle
         self._fetched_in_cycle = 0
         self._redirect_at = start_cycle
@@ -348,11 +354,18 @@ class OinOCore:
             earliest = self._fetch_cycle + p.fetch_to_issue
             if earliest < self._last_issue:
                 earliest = self._last_issue
+        dispatch = earliest
+        load_wait = 0
+        ldt = self._ldt and not replay
         reg_ready = self._reg_ready
         for src in insn.srcs:
             t = reg_ready.get(src, 0)
             if t > earliest:
                 earliest = t
+            if ldt:
+                lt = self._load_ready.get(src, 0)
+                if lt > load_wait:
+                    load_wait = lt
         energy["rf_read"] += len(insn.srcs)
         if insn.is_load:
             dep = self._store_line_ready.get(insn.mem_addr >> _LINE_SHIFT, 0)
@@ -386,7 +399,17 @@ class OinOCore:
 
         base_latency = insn.base_latency
         issue = self._fus.issue_at(insn.opclass, earliest, base_latency)
-        self._last_issue = issue
+        if ldt and issue > dispatch and load_wait > dispatch:
+            # Park the load-dependent: younger independents keep the
+            # dispatch-point floor (see InOrderCore for the model).
+            slot = self._ldt_ring[self._parked % p.ldt_queue]
+            self._last_issue = dispatch if slot <= dispatch else slot
+            self._ldt_ring[self._parked % p.ldt_queue] = \
+                issue + base_latency
+            self._parked += 1
+            energy["lsq"] += 1
+        else:
+            self._last_issue = issue
         energy[fu_type_for(insn.opclass)] += 1
 
         complete = issue + base_latency
@@ -406,6 +429,11 @@ class OinOCore:
         if insn.dst is not None:
             reg_ready[insn.dst] = complete
             energy["rf_write"] += 1
+            if ldt:
+                if insn.is_load:
+                    self._load_ready[insn.dst] = complete
+                else:
+                    self._load_ready.pop(insn.dst, None)
         if complete > self._last_complete:
             self._last_complete = complete
         return complete

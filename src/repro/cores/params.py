@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass
 
 
@@ -28,6 +29,15 @@ class CoreParams:
     #: Bubble cycles when a taken branch misses in the BTB.
     btb_miss_bubble: int = 2
 
+    #: In-order issue policy: ``"stall"`` is the classic stall-on-use
+    #: pipeline (instruction *i* blocks everything younger); ``"ldt"``
+    #: adds load-delay tracking (Diavastos & Carlson) — an instruction
+    #: waiting only on an outstanding load parks in a small delay
+    #: queue and independent younger instructions keep issuing.
+    issue_policy: str = "stall"
+    #: Load-delay-tracking queue entries (parked load-dependents).
+    ldt_queue: int = 8
+
 
 #: The producer OoO: deeply pipelined 3-wide with big windows.
 OOO_PARAMS = CoreParams(
@@ -53,6 +63,34 @@ INO_PARAMS = CoreParams(
     fp_regs=128,
     fetch_to_issue=3,
 )
+
+#: The load-delay-tracking consumer: the InO pipeline with per-load
+#: delay counters gating issue instead of a blanket stall-on-use.
+LDT_PARAMS = dataclasses.replace(
+    INO_PARAMS, name="InO-LDT", issue_policy="ldt"
+)
+
+#: The CG-OoO consumer: block-granularity scheduling windows (coarse-
+#: grain out-of-order, Mohammadi et al.).  Instructions inside one
+#: block window issue dataflow-order; blocks retire through a small
+#: ring of outstanding block windows instead of a global ROB.
+CGOOO_PARAMS = CoreParams(
+    name="CG-OoO",
+    width=3,
+    pipeline_depth=10,
+    rob_size=1,
+    mem_inflight=8,
+    int_regs=128,
+    fp_regs=128,
+    fetch_to_issue=4,
+)
+
+#: Outstanding block windows in the CG-OoO block ring: block *b*
+#: cannot start issuing until block *b - CGOOO_BLOCK_WINDOWS* drained.
+CGOOO_BLOCK_WINDOWS = 4
+#: Instructions one block window can hold; longer dynamic blocks spill
+#: into the next window slot (counted as an extra block).
+CGOOO_WINDOW_ENTRIES = 32
 
 #: OinO-mode additions (paper section 3.3.2): every architectural
 #: register may map to up to 4 physical registers (128-entry PRF) and a

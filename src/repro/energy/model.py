@@ -35,6 +35,10 @@ DYNAMIC_ENERGY_PJ: dict[str, float] = {
     "oino_lsq": 1.8,       # 32-entry replay LSQ
     "sc_read": 2.2,        # fetching trace blocks from the small SC
     "sc_write": 30.0,      # compacted SC writes are expensive
+    # CG-OoO block-window structures: wakeup/select local to one small
+    # window costs a fraction of the global "scheduler" CAM.
+    "bw_select": 3.5,      # block-window wakeup + select
+    "bw_window": 1.2,      # window entry write/occupancy bookkeeping
     # Functional units
     "int_alu": 2.5,
     "int_mul": 6.0,
@@ -53,6 +57,8 @@ LEAKAGE_PW_PER_CYCLE: dict[str, float] = {
     "ino": 8.0,
     "oino_extra": 1.6,   # expanded PRF + replay LSQ
     "sc": 0.8,           # 8 KB SC: ~10 % on top of InO leakage
+    "cgooo": 14.0,       # block windows leak more than InO, far
+                         # less than the global OoO structures
 }
 
 #: Relative core areas (InO = 1.0), including private L1s and, for
@@ -60,6 +66,7 @@ LEAKAGE_PW_PER_CYCLE: dict[str, float] = {
 AREA_UNITS: dict[str, float] = {
     "ino": 1.0,
     "oino": 1.35,
+    "cgooo": 1.6,
     "ooo": 2.2,
 }
 
@@ -110,9 +117,9 @@ class CoreEnergyModel:
                   cycles: int) -> EnergyBreakdown:
         """Energy for a window of *cycles* on a core of *kind*.
 
-        *kind* is one of ``"ooo"``, ``"ino"``, ``"oino"``.
+        *kind* is one of ``"ooo"``, ``"ino"``, ``"oino"``, ``"cgooo"``.
         """
-        if kind not in ("ooo", "ino", "oino"):
+        if kind not in ("ooo", "ino", "oino", "cgooo"):
             raise ValueError(f"unknown core kind {kind!r}")
         dynamic: dict[str, float] = {}
         for structure, count in events.items():
@@ -120,6 +127,11 @@ class CoreEnergyModel:
             if pj is None:
                 raise KeyError(f"no energy coefficient for {structure!r}")
             dynamic[structure] = pj * count
+        if kind == "cgooo":
+            # Block windows replace both the OoO global structures and
+            # the InO baseline; the SC doubles as the schedule memo.
+            leak = (self.leakage["cgooo"] + self.leakage["sc"]) * cycles
+            return EnergyBreakdown(dynamic_pj=dynamic, leakage_pj=leak)
         leak = self.leakage["ooo" if kind == "ooo" else "ino"] * cycles
         if kind == "oino":
             leak += (self.leakage["oino_extra"] + self.leakage["sc"]) * cycles
@@ -143,10 +155,13 @@ class CoreEnergyModel:
     #: fetch/execute on mispredicts and squashed trace replays — which
     #: burns on exactly those two cores.  The resulting totals
     #: reproduce the paper's McPAT ratios (see repro.energy).
-    EPI_PJ = {"ooo": 52.0, "ino": 14.5, "oino": 21.0}
+    EPI_PJ = {"ooo": 52.0, "ino": 14.5, "oino": 21.0, "cgooo": 30.0}
 
     def interval_power(self, kind: str, ipc: float) -> float:
         """Average power (pJ/cycle) for the interval tier."""
+        if kind == "cgooo":
+            leak = self.leakage["cgooo"] + self.leakage["sc"]
+            return leak + self.EPI_PJ[kind] * ipc
         leak = self.leakage["ooo" if kind == "ooo" else "ino"]
         if kind == "oino":
             leak += self.leakage["oino_extra"] + self.leakage["sc"]

@@ -12,6 +12,11 @@ streams) run the same loop, phases, and telemetry paths.
 :class:`~repro.cmp.detailed.DetailedMirageCluster` are thin shells
 that assemble the standard pipeline; custom phases and backends slot
 in alongside the standard ones (see ``docs/api.md``).
+
+Backends are enumerable through :mod:`repro.engine.registry`: every
+flavour — analytic, detailed, CG-OoO, load-delay tracking — registers
+a factory under a name, and :func:`get_backend`/:func:`list_backends`
+resolve names everywhere one is accepted (CLI, experiments, caches).
 """
 
 from repro.engine.backends import (
@@ -33,6 +38,15 @@ from repro.engine.phases import (
     MigrationPhase,
     account_migration,
 )
+from repro.engine.registry import (
+    BackendBundle,
+    BackendInfo,
+    BackendSpec,
+    backend_names,
+    get_backend,
+    list_backends,
+    register_backend,
+)
 from repro.engine.state import AppState, ExecOutcome
 from repro.engine.views import (
     AppViewBatch,
@@ -48,6 +62,9 @@ __all__ = [
     "AppState",
     "AppViewBatch",
     "ArbitrationPhase",
+    "BackendBundle",
+    "BackendInfo",
+    "BackendSpec",
     "EngineContext",
     "EnginePhase",
     "EnergyPhase",
@@ -59,6 +76,10 @@ __all__ = [
     "MigrationPhase",
     "MigrationTicket",
     "account_migration",
+    "backend_names",
     "build_app_view",
+    "get_backend",
     "interval_tier_views",
+    "list_backends",
+    "register_backend",
 ]

@@ -44,8 +44,8 @@ class IntervalEngine:
         if backend is None:
             # Imported here: repro.cmp imports this module at package
             # import time, so the reverse import must stay lazy.
-            from repro.cmp.migration import MigrationCostModel
-            backend = AnalyticBackend(MigrationCostModel(config))
+            from repro.cmp.migration import make_cost_model
+            backend = AnalyticBackend(make_cost_model(config))
         self.config = config
         self.apps = apps
         self.phases = list(phases)

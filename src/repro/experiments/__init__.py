@@ -16,6 +16,7 @@ result caching; serial, parallel, and cached runs are bit-identical.
 """
 
 from repro.experiments import (
+    backend_matrix,
     multithreaded,
     scenario,
     software_arbiter,
@@ -78,6 +79,8 @@ _DEFINITIONS = [
     # Methodology: cross-check the two simulation tiers.
     ("tier-validation", "Detailed vs interval tier agreement",
      "Section 4", tier_validation),
+    ("backend-matrix", "All registered backends, cross-validated",
+     "Section 4", backend_matrix),
 ]
 
 EXPERIMENTS: dict[str, Experiment] = {

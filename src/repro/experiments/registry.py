@@ -1,4 +1,4 @@
-"""The Experiment registry: one uniform API over all 19 drivers.
+"""The Experiment registry: one uniform API over all 21 drivers.
 
 Each driver module keeps its pure ``run(**kwargs) -> dict`` and a
 ``print_table(result)`` renderer; an :class:`Experiment` wraps the pair
@@ -49,6 +49,8 @@ QUICK_OVERRIDES: dict[str, dict[str, Any]] = {
     "software-arbiter": {"n_mixes": 2},
     "multithreaded": {"n_threads": 4},
     "tier-validation": {"n_slices": 10},
+    "backend-matrix": {"intervals": 16, "slice_instructions": 4_000,
+                       "max_intervals": 200, "energy_instructions": 4_000},
     "scenario": {"n_apps": 10, "duration": 120, "n_clusters": 2,
                  "capacity": 6},
 }

@@ -66,7 +66,9 @@ class ResultCache:
     def __init__(self, cache_dir: str | Path | None = None, *,
                  version: str | None = None,
                  backend: str | None = None,
-                 sim_cache: bool | None = None):
+                 sim_cache: bool | None = None,
+                 core_backend: str | None = None,
+                 cost_model: str | None = None):
         self.root = Path(cache_dir) if cache_dir else default_cache_dir()
         self.version = version or repro.__version__
         self.backend = backend or ENGINE_CACHE_TAG
@@ -76,6 +78,12 @@ class ResultCache:
         # serve the tainted entry back.
         self.sim_cache = (simcache.enabled() if sim_cache is None
                           else bool(sim_cache))
+        # The selected registry backend and migration cost model are
+        # part of what a result *means*: entries produced under
+        # different selections can never collide.  None = the process
+        # defaults ("analytic+detailed" pair, flat L1-flush pricing).
+        self.core_backend = core_backend or "default"
+        self.cost_model = cost_model or "l1-flush"
 
     # -- keying --------------------------------------------------------
     def key_material(self, experiment: str, unit: WorkUnit) -> str:
@@ -83,6 +91,8 @@ class ResultCache:
         return json.dumps(
             {
                 "backend": self.backend,
+                "core_backend": self.core_backend,
+                "cost_model": self.cost_model,
                 "experiment": experiment,
                 # Scenario schedules and their placement semantics are
                 # part of what a cached result means: bumping the

@@ -27,6 +27,10 @@ DOCUMENTED_SURFACES = [
     "repro.engine",
     "repro.engine.backends",
     "repro.engine.phases",
+    "repro.engine.registry",
+    "repro.cores.cgooo",
+    "repro.cmp.migration",
+    "repro.experiments.backend_matrix",
     "repro.telemetry.events",
     "repro.api",
     "repro.config",

@@ -30,8 +30,8 @@ QUICK_BENCHES = ("hmmer", "mcf", "astar", "bzip2", "gcc", "libquantum")
 
 class TestRegistry:
     def test_all_experiments_registered(self):
-        # 16 paper tables/figures + 4 extension/validation drivers.
-        assert len(EXPERIMENTS) == 20
+        # 16 paper tables/figures + 5 extension/validation drivers.
+        assert len(EXPERIMENTS) == 21
         for exp in EXPERIMENTS.values():
             assert hasattr(exp, "run")
             assert hasattr(exp, "main")
