@@ -27,6 +27,10 @@ never change simulation output:
 * ``--backend-smoke`` — ``backend-matrix --quick`` twice: every
   registered backend must appear as a leg row and the two runs must
   print byte-identical tables (determinism across the whole roster).
+* ``--pool-gate`` — the tier-identity experiments under ``--jobs 2``
+  with the warm worker pool on vs off (``MIRAGE_WARM_POOL``): the
+  pool and its shared-memory transport must never change a byte of
+  simulation output.
 """
 
 from __future__ import annotations
@@ -59,14 +63,15 @@ def is_volatile(line: str) -> bool:
 
 
 def capture(experiment: str, src: Path,
-            extra_env: dict[str, str] | None = None) -> str:
+            extra_env: dict[str, str] | None = None,
+            extra_args: tuple[str, ...] = ()) -> str:
     """One experiment's table, with volatile timing lines stripped."""
     env = dict(os.environ, PYTHONPATH=str(src))
     if extra_env:
         env.update(extra_env)
     proc = subprocess.run(
         [sys.executable, "-m", "repro", experiment,
-         "--quick", "--no-cache"],
+         "--quick", "--no-cache", *extra_args],
         env=env, capture_output=True, text=True,
     )
     if proc.returncode != 0:
@@ -125,6 +130,31 @@ def disk_smoke(src: Path, out: Path, experiments: list[str]) -> None:
                 f"replayed different results (see {out})")
         print(f"[disk-smoke] {experiment}: cold/warm processes "
               f"byte-identical ({len(cold.splitlines())} lines)")
+
+
+def pool_gate(src: Path, out: Path, experiments: list[str]) -> None:
+    """Capture each experiment under ``--jobs 2`` with the warm pool
+    on and off and fail on any byte difference.
+
+    With the pool off the runner takes the legacy per-call executor
+    path, so this compares the entire new dispatch stack — warm
+    workers, shared-memory transport, LPT ordering — against the old
+    one on the same work.
+    """
+    for experiment in experiments:
+        on = capture(experiment, src, {"MIRAGE_WARM_POOL": "1"},
+                     ("--jobs", "2"))
+        off = capture(experiment, src, {"MIRAGE_WARM_POOL": "0"},
+                      ("--jobs", "2"))
+        (out / f"{experiment}.pool-on.txt").write_text(on)
+        (out / f"{experiment}.pool-off.txt").write_text(off)
+        if on != off:
+            raise SystemExit(
+                f"capture_tables: {experiment} differs between "
+                f"MIRAGE_WARM_POOL=1 and =0 under --jobs 2 — the warm "
+                f"pool changed simulation output (see {out})")
+        print(f"[pool-gate] {experiment}: warm pool on/off "
+              f"byte-identical ({len(on.splitlines())} lines)")
 
 
 #: Backend names whose leg rows ``--backend-smoke`` requires in the
@@ -190,6 +220,11 @@ def main(argv: list[str] | None = None) -> int:
         help="run backend-matrix --quick twice and fail unless every "
              "registered backend appears and the runs are "
              "byte-identical")
+    parser.add_argument(
+        "--pool-gate", action="store_true",
+        help="capture the tier-identity experiments under --jobs 2 "
+             "with MIRAGE_WARM_POOL=1/0 and fail on any byte "
+             "difference")
     args = parser.parse_args(argv)
 
     src = Path(args.src).resolve()
@@ -211,6 +246,10 @@ def main(argv: list[str] | None = None) -> int:
         return 0
     if args.backend_smoke:
         backend_smoke(src, out)
+        return 0
+    if args.pool_gate:
+        gate = [e for e in args.experiments if e in EXPERIMENTS]
+        pool_gate(src, out, gate or list(EXPERIMENTS))
         return 0
     for experiment in args.experiments:
         text = capture(experiment, src)

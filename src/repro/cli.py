@@ -548,6 +548,9 @@ def main(argv: list[str] | None = None) -> int:
             print(f"[exported {out_dir / (name + '.json')}]")
         if exp.last_runner is not None and exp.last_runner.stats.total_units:
             print(f"[runner] {exp.last_runner.stats.summary()}")
+            slowest = exp.last_runner.stats.slowest_summary()
+            if slowest:
+                print(f"[runner] slowest units: {slowest}")
         print(f"--- {name} done in {time.time() - start:.1f}s ---\n")
     if args.trace:
         with open(args.trace) as handle:

@@ -49,17 +49,34 @@ def fan_out(fn, items, jobs: int | None) -> list:
     The one pool idiom every sharded runner in the repo shares
     (:class:`ShardedDetailedBackend` here, the multi-cluster scenario
     runs in :mod:`repro.cluster`): ``jobs=None``/``<=1`` or a single
-    item runs serially in-process; otherwise a
-    :class:`~concurrent.futures.ProcessPoolExecutor` of
-    ``min(jobs, len(items))`` workers maps in input order, and pool
-    failures that predate any result (sandboxes that forbid ``fork``
-    or semaphores) degrade to the serial path.  *fn* must be
+    item runs serially in-process; otherwise the fan-out goes through
+    the process-global :class:`~repro.runner.pool.WarmPool` —
+    persistent workers shared with the sweep runner, so back-to-back
+    fan-outs pay no respawn — falling back to a per-call
+    :class:`~concurrent.futures.ProcessPoolExecutor` when the warm
+    pool is disabled (``MIRAGE_WARM_POOL=0``) or cannot run here.
+    Pool failures that predate any result (sandboxes that forbid
+    ``fork`` or semaphores) degrade to the serial path.  *fn* must be
     module-level and *items* picklable; when each call is a pure
     function of its item, serial and pooled runs are bit-identical.
     """
     items = list(items)
     if jobs is None or jobs <= 1 or len(items) <= 1:
         return [fn(item) for item in items]
+    from repro.runner.pool import (
+        PoolUnavailable,
+        WarmPool,
+        warm_pool_enabled,
+    )
+
+    if warm_pool_enabled():
+        try:
+            # WarmPool.map preserves input order too; task errors
+            # propagate (PoolTaskError), only *pool* unavailability
+            # degrades.
+            return WarmPool.shared(jobs).map(fn, items)
+        except PoolUnavailable:
+            pass
     try:
         with ProcessPoolExecutor(
                 max_workers=min(jobs, len(items))) as pool:

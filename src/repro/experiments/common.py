@@ -64,6 +64,39 @@ def mean(values) -> float:
     return sum(values) / len(values)
 
 
+#: Two-sided 97.5 % Student-t critical values by degrees of freedom —
+#: enough for the seed counts headline runs use; beyond the table the
+#: normal approximation is within a percent.
+_T95 = {1: 12.706, 2: 4.303, 3: 3.182, 4: 2.776, 5: 2.571,
+        6: 2.447, 7: 2.365, 8: 2.306, 9: 2.262, 10: 2.228,
+        15: 2.131, 20: 2.086, 30: 2.042}
+
+
+def t_critical_95(df: int) -> float:
+    """The two-sided 95 % t critical value for *df* (>=1)."""
+    if df in _T95:
+        return _T95[df]
+    for bound in (10, 15, 20, 30):
+        if df <= bound:
+            return _T95[bound]
+    return 1.96
+
+
+def mean_ci95(values) -> tuple[float, float]:
+    """``(mean, half_width)`` of a 95 % confidence interval.
+
+    The half-width is 0.0 for fewer than two values — a single seed
+    carries no spread information, so the point estimate prints bare.
+    """
+    values = list(values)
+    center = mean(values)
+    n = len(values)
+    if n < 2:
+        return center, 0.0
+    variance = sum((v - center) ** 2 for v in values) / (n - 1)
+    return center, t_critical_95(n - 1) * (variance / n) ** 0.5
+
+
 def format_table(headers: list[str], rows: list[list]) -> str:
     """Plain-text table for the drivers' main() output."""
     widths = [

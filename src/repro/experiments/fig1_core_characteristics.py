@@ -15,6 +15,7 @@ from repro.cores import InOrderCore, OutOfOrderCore
 from repro.energy import CoreEnergyModel, core_area
 from repro.experiments.common import format_table, mean
 from repro.memory import MemoryHierarchy
+from repro.runner import SweepRunner, call_unit, run_units
 from repro.workloads import ALL_BENCHMARKS, get_profile, make_benchmark
 
 
@@ -40,8 +41,14 @@ def measure(name: str, *, instructions: int = 30_000,
 
 
 def run(*, instructions: int = 30_000,
-        benchmarks: tuple[str, ...] = ALL_BENCHMARKS) -> dict:
-    per_bench = [measure(n, instructions=instructions) for n in benchmarks]
+        benchmarks: tuple[str, ...] = ALL_BENCHMARKS,
+        runner: SweepRunner | None = None) -> dict:
+    # One pure call per benchmark -> one cached, parallelizable sweep.
+    per_bench = run_units(
+        [call_unit("repro.experiments.fig1_core_characteristics:measure",
+                   name, instructions=instructions)
+         for name in benchmarks],
+        runner)
     groups = {}
     for label, pred in [
         ("overall", lambda r: True),

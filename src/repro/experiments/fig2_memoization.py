@@ -16,6 +16,7 @@ from __future__ import annotations
 from repro.cores import InOrderCore, OinOCore, OutOfOrderCore
 from repro.experiments.common import format_table, mean
 from repro.memory import MemoryHierarchy
+from repro.runner import SweepRunner, call_unit, run_units
 from repro.schedule import ScheduleCache, ScheduleRecorder
 from repro.workloads import ALL_BENCHMARKS, get_profile, make_benchmark
 
@@ -43,8 +44,14 @@ def measure(name: str, *, instructions: int = 40_000, seed: int = 1) -> dict:
 
 
 def run(*, instructions: int = 40_000,
-        benchmarks: tuple[str, ...] = ALL_BENCHMARKS) -> dict:
-    per_bench = [measure(n, instructions=instructions) for n in benchmarks]
+        benchmarks: tuple[str, ...] = ALL_BENCHMARKS,
+        runner: SweepRunner | None = None) -> dict:
+    # One pure call per benchmark -> one cached, parallelizable sweep.
+    per_bench = run_units(
+        [call_unit("repro.experiments.fig2_memoization:measure",
+                   name, instructions=instructions)
+         for name in benchmarks],
+        runner)
     groups = {}
     for label, pred in [
         ("overall", lambda r: True),

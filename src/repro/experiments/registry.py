@@ -45,7 +45,7 @@ QUICK_OVERRIDES: dict[str, dict[str, Any]] = {
     "fig13": {"n_mixes": 2},
     "fig14": {"n_mixes": 2},
     "fig15": {"n_mixes": 4},
-    "headline": {"n_mixes": 4},
+    "headline": {"n_mixes": 4, "n_seeds": 2},
     "software-arbiter": {"n_mixes": 2},
     "multithreaded": {"n_threads": 4},
     "tier-validation": {"n_slices": 10},

@@ -13,6 +13,7 @@ from __future__ import annotations
 from repro.cores import InOrderCore, OutOfOrderCore
 from repro.experiments.common import format_table
 from repro.memory import MemoryHierarchy
+from repro.runner import SweepRunner, call_unit, run_units
 from repro.workloads import ALL_BENCHMARKS, get_profile, make_benchmark
 
 PAPER_BOUNDARY = 0.60
@@ -30,14 +31,23 @@ def measure_ratio(name: str, *, instructions: int = 30_000,
 
 
 def run(*, instructions: int = 30_000,
-        benchmarks: tuple[str, ...] = ALL_BENCHMARKS) -> dict:
+        benchmarks: tuple[str, ...] = ALL_BENCHMARKS,
+        runner: SweepRunner | None = None) -> dict:
+    # Each per-benchmark measurement is an independent pure call, so
+    # the whole table is one sweep: cached, and parallel under
+    # --jobs (floats survive the call-unit JSON round-trip exactly,
+    # keeping the printed table byte-identical to the serial loop).
+    ratios = run_units(
+        [call_unit("repro.experiments.table1:measure_ratio", name,
+                   instructions=instructions) for name in benchmarks],
+        runner)
     rows = []
-    for name in benchmarks:
+    for name, ratio in zip(benchmarks, ratios):
         prof = get_profile(name)
         rows.append({
             "benchmark": name,
             "paper_category": prof.category,
-            "ratio": measure_ratio(name, instructions=instructions),
+            "ratio": ratio,
         })
     # Empirical boundary: midpoint between the two bands' medians.
     hpd = sorted(r["ratio"] for r in rows if r["paper_category"] == "HPD")

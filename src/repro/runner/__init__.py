@@ -14,8 +14,21 @@ bit-identical results because the simulator is deterministic per seed.
 >>> runner.stats.summary()
 """
 
-from repro.runner.cache import MISS, ResultCache, default_cache_dir
+from repro.runner.cache import (
+    MISS,
+    ResultCache,
+    default_cache_dir,
+    unit_digest,
+)
 from repro.runner.executor import RunnerStats, SweepRunner, run_units
+from repro.runner.pool import (
+    PoolTaskError,
+    PoolUnavailable,
+    WarmPool,
+    lpt_order,
+    set_warm_pool_enabled,
+    warm_pool_enabled,
+)
 from repro.runner.units import (
     ARBITRATORS,
     TRADITIONAL,
@@ -24,20 +37,29 @@ from repro.runner.units import (
     cmp_unit,
     execute_unit,
     homo_unit,
+    unit_label,
 )
 
 __all__ = [
     "ARBITRATORS",
     "TRADITIONAL",
     "MISS",
+    "PoolTaskError",
+    "PoolUnavailable",
     "ResultCache",
     "RunnerStats",
     "SweepRunner",
+    "WarmPool",
     "WorkUnit",
     "call_unit",
     "cmp_unit",
     "default_cache_dir",
     "execute_unit",
     "homo_unit",
+    "lpt_order",
     "run_units",
+    "set_warm_pool_enabled",
+    "unit_digest",
+    "unit_label",
+    "warm_pool_enabled",
 ]

@@ -42,6 +42,22 @@ from repro.workloads.scenario import SCENARIO_CACHE_TAG
 MISS = object()
 
 
+def unit_digest(experiment: str, unit: WorkUnit) -> str:
+    """A *version-free* digest identifying a unit's workload.
+
+    Unlike :meth:`ResultCache.key_material`, this deliberately folds
+    in **no** version or schema tags: it keys the per-unit wall-time
+    hints behind the LPT scheduler, and a unit's *cost* survives
+    version bumps even when its cached *result* must not.  A stale
+    hint can only mis-order dispatch (costing a little makespan),
+    never change a result.
+    """
+    material = json.dumps(
+        {"experiment": experiment, "unit": dataclasses.asdict(unit)},
+        sort_keys=True, separators=(",", ":"), default=str)
+    return hashlib.sha256(material.encode()).hexdigest()[:32]
+
+
 def encode_payload(value: Any) -> dict:
     """JSON-safe envelope for a unit result."""
     if isinstance(value, CMPResult):
@@ -87,7 +103,16 @@ class ResultCache:
 
     # -- keying --------------------------------------------------------
     def key_material(self, experiment: str, unit: WorkUnit) -> str:
-        """The canonical JSON string the cache key digests."""
+        """The canonical JSON string the cache key digests.
+
+        The warm worker pool (``MIRAGE_WARM_POOL``) is deliberately
+        **absent** from this material: the pool is a pure
+        transport/scheduling layer whose results are bit-identical to
+        serial execution by construction, so pooled and unpooled runs
+        must share cache entries (``tests/test_pool.py`` asserts the
+        key is identical under both toggles, and the CI
+        ``--pool-gate`` holds the printed tables to the same byte).
+        """
         return json.dumps(
             {
                 "backend": self.backend,
@@ -155,3 +180,46 @@ class ResultCache:
                 pass
             raise
         return path
+
+    # -- per-unit wall-time hints --------------------------------------
+    def timings_path(self, experiment: str) -> Path:
+        """Where an experiment's ``{unit_digest: seconds}`` hints live.
+
+        Deliberately *outside* the ``v<version>/`` entry tree: timing
+        hints are advisory scheduler input keyed by
+        :func:`unit_digest`, so they survive version bumps that
+        invalidate the results themselves.
+        """
+        return self.root / "timings" / f"{experiment or 'adhoc'}.json"
+
+    def load_timings(self, experiment: str) -> dict[str, float]:
+        """The persisted wall-time hints (empty when none or corrupt)."""
+        try:
+            entry = json.loads(self.timings_path(experiment).read_text())
+            wall = entry.get("wall", {})
+            return {str(k): float(v) for k, v in wall.items()}
+        except (OSError, json.JSONDecodeError, TypeError, ValueError):
+            return {}
+
+    def record_timings(self, experiment: str,
+                       timings: dict[str, float]) -> None:
+        """Merge *timings* into the persisted hints, atomically.
+
+        Best-effort by design: a full disk or read-only cache must
+        never fail a sweep over scheduling hints.
+        """
+        if not timings:
+            return
+        path = self.timings_path(experiment)
+        try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            merged = self.load_timings(experiment)
+            merged.update(
+                {k: round(float(v), 6) for k, v in timings.items()})
+            entry = {"schema": "mirage-timings/v1", "wall": merged}
+            fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+            with os.fdopen(fd, "w") as handle:
+                json.dump(entry, handle, sort_keys=True)
+            os.replace(tmp, path)
+        except OSError:
+            pass

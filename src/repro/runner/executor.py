@@ -3,10 +3,14 @@
 :class:`SweepRunner.map` preserves unit order, so drivers aggregate
 results exactly as their old serial loops did — the serial and parallel
 paths produce bit-identical tables.  Units already in the cache are
-returned without executing; the rest fan out over a
-``ProcessPoolExecutor`` when ``jobs > 1`` (falling back to the serial
-path for pickling-hostile units or when worker processes cannot be
-spawned) and are written back to the cache as they complete.
+returned without executing; the rest fan out over the process-global
+:class:`~repro.runner.pool.WarmPool` when ``jobs > 1`` — persistent
+workers reused across sweeps, with per-unit wall times persisted by the
+:class:`~repro.runner.cache.ResultCache` feeding longest-expected-first
+dispatch — falling back to a per-sweep ``ProcessPoolExecutor`` when the
+pool is disabled (``MIRAGE_WARM_POOL=0``), and to the serial path for
+pickling-hostile units or when worker processes cannot be spawned.
+Results are written back to the cache as they complete.
 
 With ``trace=`` set, every CMP unit is forced to record its
 per-interval history and the runner appends the telemetry trace —
@@ -28,8 +32,9 @@ from typing import Any, Sequence
 
 from repro.cmp.system import CMPResult
 from repro.runner import units as units_mod
-from repro.runner.cache import MISS, ResultCache
-from repro.runner.units import WorkUnit
+from repro.runner.cache import MISS, ResultCache, unit_digest
+from repro.runner.pool import PoolUnavailable, WarmPool, warm_pool_enabled
+from repro.runner.units import WorkUnit, unit_label
 from repro.telemetry.events import RunRecord
 from repro.telemetry.sinks import dump_record
 
@@ -44,12 +49,28 @@ class RunnerStats:
     units_run: int = 0
     unit_seconds: list[float] = field(default_factory=list)
     wall_seconds: float = 0.0
-    mode: str = "serial"                 #: "serial" | "parallel"
+    mode: str = "serial"        #: "serial" | "parallel" | "warm-pool"
     trace_records: int = 0               #: JSONL records appended
+    #: ``(seconds, label)`` for every executed unit — the fix for the
+    #: old behaviour where per-unit timing died with the run: the
+    #: executor persists these through the cache for LPT dispatch and
+    #: the CLI surfaces the worst offenders.
+    unit_timings: list[tuple[float, str]] = field(default_factory=list)
 
     @property
     def total_units(self) -> int:
         return self.cache_hits + self.cache_misses
+
+    def note_unit(self, seconds: float, label: str) -> None:
+        self.units_run += 1
+        self.unit_seconds.append(seconds)
+        self.unit_timings.append((seconds, label))
+
+    def slowest_summary(self, k: int = 3) -> str:
+        """``label 1.2s; label 0.8s`` for the *k* slowest units."""
+        worst = sorted(self.unit_timings, reverse=True)[:k]
+        return "; ".join(f"{label} {seconds:.2f}s"
+                         for seconds, label in worst)
 
     def summary(self) -> str:
         """One-line report for the CLI."""
@@ -168,21 +189,57 @@ class SweepRunner:
 
     # ------------------------------------------------------------------
     def _execute(self, units, pending, results) -> None:
-        want_pool = (self.jobs > 1 and len(pending) > 1
-                     and all(_picklable(units[i]) for i in pending))
-        if want_pool:
-            try:
-                self._execute_parallel(units, pending, results)
-                return
-            except (OSError, PermissionError):
-                pass  # no subprocess support here: fall through
-        for i in pending:
-            payload, seconds = units_mod.timed_execute(units[i])
-            results[i] = payload
-            self.stats.units_run += 1
-            self.stats.unit_seconds.append(seconds)
+        timings: dict[str, float] = {}
+        try:
+            want_pool = (self.jobs > 1 and len(pending) > 1
+                         and all(_picklable(units[i]) for i in pending))
+            if want_pool and warm_pool_enabled():
+                try:
+                    self._execute_warm(units, pending, results, timings)
+                    return
+                except PoolUnavailable:
+                    pass  # pool can't run here: try the legacy pool
+            if want_pool:
+                try:
+                    self._execute_parallel(units, pending, results,
+                                           timings)
+                    return
+                except (OSError, PermissionError):
+                    pass  # no subprocess support here: fall through
+            for i in pending:
+                payload, seconds = units_mod.timed_execute(units[i])
+                results[i] = payload
+                self.stats.note_unit(seconds, unit_label(units[i]))
+                timings[unit_digest(self.experiment, units[i])] = seconds
+        finally:
+            # Persist whatever we timed — the next sweep's LPT input.
+            if self.cache is not None:
+                self.cache.record_timings(self.experiment, timings)
 
-    def _execute_parallel(self, units, pending, results) -> None:
+    def _execute_warm(self, units, pending, results, timings) -> None:
+        """Fan out over the shared warm pool, longest-expected-first.
+
+        Cost hints come from the wall times previous runs persisted
+        (:meth:`ResultCache.load_timings`); units never seen before
+        have no hint and are conservatively dispatched first.
+        """
+        pool = WarmPool.shared(self.jobs)
+        digests = [unit_digest(self.experiment, units[i])
+                   for i in pending]
+        hints = (self.cache.load_timings(self.experiment)
+                 if self.cache is not None else {})
+        pairs = pool.map(units_mod.timed_execute,
+                         [units[i] for i in pending],
+                         costs=[hints.get(d) for d in digests])
+        self.stats.mode = "warm-pool"
+        for i, digest, (payload, seconds) in zip(pending, digests,
+                                                 pairs):
+            results[i] = payload
+            self.stats.note_unit(seconds, unit_label(units[i]))
+            timings[digest] = seconds
+
+    def _execute_parallel(self, units, pending, results,
+                          timings) -> None:
         workers = min(self.jobs, len(pending))
         with ProcessPoolExecutor(max_workers=workers) as pool:
             futures = {
@@ -192,9 +249,10 @@ class SweepRunner:
             self.stats.mode = "parallel"
             for future in as_completed(futures):
                 payload, seconds = future.result()
-                results[futures[future]] = payload
-                self.stats.units_run += 1
-                self.stats.unit_seconds.append(seconds)
+                i = futures[future]
+                results[i] = payload
+                self.stats.note_unit(seconds, unit_label(units[i]))
+                timings[unit_digest(self.experiment, units[i])] = seconds
 
 
 def run_units(units: Sequence[WorkUnit],

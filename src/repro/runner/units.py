@@ -203,3 +203,16 @@ def timed_execute(unit: WorkUnit) -> tuple[Any, float]:
     start = time.perf_counter()
     result = execute_unit(unit)
     return result, time.perf_counter() - start
+
+
+def unit_label(unit: WorkUnit) -> str:
+    """A short human tag for a unit (the ``slowest units`` line)."""
+    if unit.kind == "call":
+        fn = unit.target.rpartition(":")[2] or unit.target
+        args = ",".join(str(a) for a in unit.args[:2])
+        return f"{fn}({args})" if args else f"{fn}()"
+    mix = "+".join(unit.benchmarks[:3])
+    if len(unit.benchmarks) > 3:
+        mix += f"+{len(unit.benchmarks) - 3}"
+    tag = unit.homo_kind if unit.kind == "homo" else unit.arbitrator
+    return f"{unit.kind}:{tag}[{mix}]"

@@ -420,12 +420,28 @@ class SliceStore:
         return self.root / f"{digest[:2]}" / f"{digest}.pkl"
 
     def load(self, key: tuple) -> SliceDelta | None:
-        """The stored delta for *key*, or ``None`` (miss/corruption)."""
+        """The stored delta for *key*, or ``None`` (miss/corruption).
+
+        Reads go through ``mmap``: the kernel pages the entry straight
+        into the unpickler with no intermediate read buffer, which is
+        the cheap path when many pool workers replay the same warm
+        store.  Files ``mmap`` cannot handle (empty, or a filesystem
+        without mapping support) fall back to a plain read — either
+        way any failure is a miss.
+        """
         self.stats.loads += 1
         path = self.path_for(key)
         try:
             with open(path, "rb") as fh:
-                schema, stored_key, delta = pickle.load(fh)
+                try:
+                    import mmap
+
+                    with mmap.mmap(fh.fileno(), 0,
+                                   access=mmap.ACCESS_READ) as view:
+                        schema, stored_key, delta = pickle.loads(view)
+                except (ValueError, OSError):
+                    fh.seek(0)
+                    schema, stored_key, delta = pickle.load(fh)
         except FileNotFoundError:
             return None
         except Exception:

@@ -286,6 +286,68 @@ class TestNoiseAwareCompare:
         assert "±" in summary and "x 1.00" in summary
 
 
+class TestWelchGate:
+    def test_ten_percent_regression_is_significant(self):
+        # The acceptance case: a tight, consistent 10% slowdown is
+        # below the 20% fail threshold but must be *flagged* as a
+        # statistically significant shift.
+        old = make_sampled_report(
+            "old", {"a": [1.000, 1.002, 0.998, 1.001, 0.999]})
+        new = make_sampled_report(
+            "new", {"a": [1.100, 1.102, 1.098, 1.101, 1.099]})
+        comparison = compare_reports(old, new, threshold=0.20)
+        delta = comparison.deltas[0]
+        assert delta.p_value < 0.05
+        assert delta.significant
+        assert not delta.regressed  # sub-threshold: warn, don't fail
+        assert comparison.ok
+        assert comparison.significant_shifts
+        assert "significant" in comparison.summary()
+
+    def test_resampled_identical_runs_stay_silent(self):
+        # Two draws from the same distribution: the gate must not
+        # manufacture significance out of noise.
+        old = make_sampled_report("old", {"a": [1.00, 1.04, 0.96]})
+        new = make_sampled_report("new", {"a": [1.02, 0.98, 1.01]})
+        comparison = compare_reports(old, new, threshold=0.20)
+        delta = comparison.deltas[0]
+        assert delta.p_value >= 0.05
+        assert not delta.significant
+        assert not comparison.significant_shifts
+        assert comparison.ok
+
+    def test_significant_regression_beyond_threshold_fails(self):
+        old = make_sampled_report("old", {"a": [1.00, 1.01, 0.99]})
+        new = make_sampled_report("new", {"a": [1.30, 1.31, 1.29]})
+        comparison = compare_reports(old, new, threshold=0.20)
+        assert comparison.deltas[0].significant
+        assert comparison.deltas[0].regressed
+        assert not comparison.ok
+
+    def test_single_sample_keeps_threshold_semantics(self):
+        # One sample carries no spread, so Welch degenerates: any
+        # mean shift is treated as significant and the historical
+        # pure-threshold verdict is preserved.
+        regression = compare_reports(
+            make_report("old", {"a": 1.0}),
+            make_report("new", {"a": 1.5}), threshold=0.20)
+        assert regression.deltas[0].significant
+        assert not regression.ok
+        identical = compare_reports(
+            make_report("old", {"a": 1.0}),
+            make_report("new", {"a": 1.0}), threshold=0.20)
+        assert not identical.deltas[0].significant
+        assert identical.ok
+
+    def test_p_value_matches_known_table(self):
+        from repro.bench.compare import t_two_sided_p
+
+        # t=2.0 at df=10 -> p=0.0734 (standard t-table value).
+        assert t_two_sided_p(2.0, 10.0) == pytest.approx(
+            0.0734, abs=2e-4)
+        assert t_two_sided_p(0.0, 10.0) == pytest.approx(1.0)
+
+
 class TestCLI:
     def test_bench_list(self, capsys):
         assert main(["bench", "--list"]) == 0
